@@ -1,0 +1,289 @@
+package copernicus
+
+// One benchmark per figure/table of the paper's evaluation (DESIGN.md §3
+// maps each to its modules). Each benchmark regenerates its figure from
+// scratch and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the reproduction pipeline and re-derives the paper's numbers.
+// cmd/benchfig prints the full rows/series.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"copernicus/internal/des"
+	"copernicus/internal/experiments"
+	"copernicus/internal/md"
+	"copernicus/internal/topology"
+)
+
+// benchVillin runs the reduced-scale adaptive project once per iteration.
+func benchVillin(b *testing.B) *MSMResult {
+	b.Helper()
+	res, err := experiments.RunVillin(experiments.ScaleSmall, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkFig2_GenerationRMSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchVillin(b)
+		if s := experiments.Fig2(res); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+		last := res.Generations[len(res.Generations)-1]
+		b.ReportMetric(last.MinRMSD, "minRMSD_A")
+		b.ReportMetric(float64(last.States), "ergodic_states")
+	}
+}
+
+func BenchmarkFig3_FirstFolded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchVillin(b)
+		if res.FirstFoldedGen < 0 {
+			b.Fatal("no folded conformation found")
+		}
+		b.ReportMetric(float64(res.FirstFoldedGen), "first_folded_gen")
+		b.ReportMetric(res.FinalTopStateRMSD, "blind_prediction_A")
+	}
+}
+
+func BenchmarkFig4_PopulationEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchVillin(b)
+		if len(res.PopFolded) == 0 {
+			b.Fatal("no population curve")
+		}
+		final := res.PopFolded[len(res.PopFolded)-1]
+		if final <= 0 || final > 1 {
+			b.Fatalf("fraction folded at 2µs = %v", final)
+		}
+		b.ReportMetric(100*final, "folded_at_2us_pct")
+		if res.THalfOK {
+			b.ReportMetric(res.THalfNs, "t_half_ns")
+		}
+	}
+}
+
+func BenchmarkFig5_EnsembleRMSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchVillin(b)
+		if len(res.RMSDMean) == 0 {
+			b.Fatal("no ensemble curve")
+		}
+		// The ensemble average must decay from the unfolded plateau.
+		first, last := res.RMSDMean[0], res.RMSDMean[len(res.RMSDMean)-1]
+		if last >= first {
+			b.Fatalf("ensemble RMSD did not decay: %v -> %v", first, last)
+		}
+		b.ReportMetric(last, "final_mean_RMSD_A")
+	}
+}
+
+func BenchmarkFig6_HierarchyBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RankBytesPerStep <= 0 || r.EnsembleBytes <= 0 {
+			b.Fatalf("hierarchy measurement empty: %+v", r)
+		}
+		// Structural claim of Fig 6: the simulation level moves orders of
+		// magnitude more data per unit work than the ensemble level.
+		b.ReportMetric(r.RankBytesPerStep, "mpi_bytes_per_step")
+		b.ReportMetric(float64(r.EnsembleBytes)/r.EnsembleSeconds/1e6, "overlay_MBps")
+		b.ReportMetric(float64(r.HeartbeatBytes), "heartbeat_bytes")
+		if r.HeartbeatBytes >= 200 {
+			b.Fatalf("heartbeat %d bytes, paper requires <200", r.HeartbeatBytes)
+		}
+	}
+}
+
+func BenchmarkFig7_ScalingEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := des.PaperParams()
+		ref, err := des.ReferenceHours(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := base
+		p.TotalCores = 20000
+		p.CoresPerSim = 96
+		r, err := des.Simulate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff := des.Efficiency(ref, 20000, r.Hours)
+		if eff < 0.4 || eff > 0.65 {
+			b.Fatalf("efficiency at 20k cores = %v, paper 0.53", eff)
+		}
+		b.ReportMetric(ref, "tres1_hours")
+		b.ReportMetric(100*eff, "efficiency_20k_pct")
+	}
+}
+
+func BenchmarkFig8_TimeToSolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := des.PaperParams() // 5,000 cores, 24 per simulation
+		r, err := des.Simulate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Hours < 20 || r.Hours > 45 {
+			b.Fatalf("time at 5000 cores = %v h, paper ~30", r.Hours)
+		}
+		p.TotalCores = 20000
+		p.CoresPerSim = 96
+		r20k, err := des.Simulate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Hours, "hours_5k_cores")
+		b.ReportMetric(r20k.Hours, "hours_20k_cores")
+	}
+}
+
+func BenchmarkFig9_EnsembleBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := des.Sweep(des.PaperParams(), []int{24}, []int{240, 2400, 21600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range points {
+			if pt.BandwidthMBps <= 0 || pt.BandwidthMBps > 1 {
+				b.Fatalf("bandwidth at N=%d out of the paper's regime: %v MB/s",
+					pt.TotalCores, pt.BandwidthMBps)
+			}
+		}
+		b.ReportMetric(points[len(points)-1].BandwidthMBps, "MBps_at_21600")
+	}
+}
+
+func BenchmarkT1_HeartbeatTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.T1Heartbeat()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkT2_SingleSimScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.T2SingleSimScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkT3_AdaptiveVsEven(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.T3AdaptiveVsEven()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkMDEngineThroughput measures the raw compute kernel (the level of
+// the hierarchy the paper delegates to Gromacs): ns/day of the 192-molecule
+// water box on this machine.
+func BenchmarkMDEngineThroughput(b *testing.B) {
+	sys, err := topology.WaterBox(192, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := md.DefaultConfig()
+	cfg.Cutoff = 0.6
+	cfg.Skin = 0.08
+	sim, err := md.New(sys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		simulatedNs := float64(b.N) * 10 * cfg.Dt / 1000
+		b.ReportMetric(simulatedNs/(elapsed/86400), "ns_per_day")
+	}
+}
+
+// BenchmarkFabricCommandRoundTrip measures control-plane overhead per
+// command: announce → assign → execute(trivial) → result.
+func BenchmarkFabricCommandRoundTrip(b *testing.B) {
+	p := DefaultBARParams()
+	p.Windows = 1
+	p.SamplesPerCommand = 2
+	p.BatchPerWindow = b.N
+	p.MaxRounds = 1
+	p.TargetStdErr = 1000 // stop after one round regardless
+	b.ResetTimer()
+	res, err := RunBAR(p, FabricConfig{Servers: 1, WorkersPerServer: 2}, 10*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.SamplesUsed != 4*b.N {
+		b.Fatalf("samples = %d, want %d", res.SamplesUsed, 4*b.N)
+	}
+}
+
+// sanity-check that the public facade exposes a working surface.
+func TestPublicAPISurface(t *testing.T) {
+	model, err := NewFoldingModel(DefaultFoldingParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dim() != 3 {
+		t.Errorf("Dim = %d", model.Dim())
+	}
+	sys, err := LJFluid(64, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMDConfig()
+	cfg.Cutoff = 0.7
+	sim, err := NewMD(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sim.Temperature()) {
+		t.Error("temperature NaN")
+	}
+	ref, err := ScalingReference(PaperScalingParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref < 1e5 || ref > 1.2e5 {
+		t.Errorf("tres(1) = %v", ref)
+	}
+	reg := DefaultControllerRegistry()
+	if got := len(reg.Names()); got != 2 {
+		t.Errorf("bundled controllers = %d", got)
+	}
+}

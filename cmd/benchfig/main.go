@@ -1,0 +1,122 @@
+// Command benchfig regenerates the paper's figures and tables from the
+// reproduction (the full experiment index lives in DESIGN.md §3):
+//
+//	benchfig -fig 2      per-generation trajectory RMSD (villin surrogate)
+//	benchfig -fig 3      first folded conformation / blind prediction
+//	benchfig -fig 4      MSM population evolution, t1/2
+//	benchfig -fig 5      ensemble average RMSD vs time
+//	benchfig -fig 6      measured communication hierarchy
+//	benchfig -fig 7      scaling efficiency sweep (discrete-event study)
+//	benchfig -fig 8      time-to-solution sweep
+//	benchfig -fig 9      ensemble bandwidth sweep
+//	benchfig -fig t1     heartbeat protocol budget
+//	benchfig -fig t2     single-simulation strong scaling
+//	benchfig -fig t3     adaptive vs even weighting
+//	benchfig -fig all    everything
+//
+// Figures 2–5 share one adaptive run; -scale paper runs the full §3
+// protocol (9×25 trajectories, 8 generations; minutes), -scale small the
+// reduced one (seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2..9, t1..t3, or all")
+	scale := flag.String("scale", "small", "villin run scale: small or paper")
+	workers := flag.Int("workers", 4, "fabric workers for the villin run")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.ScaleSmall
+	case "paper":
+		sc = experiments.ScalePaper
+	default:
+		log.Fatalf("benchfig: unknown scale %q", *scale)
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	// Figs 2–5 share one adaptive MSM run.
+	var msmRes *controller.MSMResult
+	needMSM := all || want["2"] || want["3"] || want["4"] || want["5"]
+	if needMSM {
+		fmt.Printf("# running adaptive villin project (scale=%s, %d workers)...\n", *scale, *workers)
+		var err error
+		msmRes, err = experiments.RunVillin(sc, *workers)
+		if err != nil {
+			log.Fatalf("benchfig: villin run: %v", err)
+		}
+		fmt.Printf("# done: %d generations, %d trajectories\n\n",
+			len(msmRes.Generations), len(msmRes.Trajs))
+	}
+	if all || want["2"] {
+		fmt.Println(experiments.Fig2(msmRes))
+	}
+	if all || want["3"] {
+		fmt.Println(experiments.Fig3(msmRes))
+	}
+	if all || want["4"] {
+		fmt.Println(experiments.Fig4(msmRes))
+	}
+	if all || want["5"] {
+		fmt.Println(experiments.Fig5(msmRes))
+	}
+	if all || want["6"] {
+		r, err := experiments.Fig6()
+		if err != nil {
+			log.Fatalf("benchfig: fig 6: %v", err)
+		}
+		fmt.Println(experiments.FormatFig6(r))
+	}
+	if all || want["7"] || want["8"] || want["9"] {
+		points, err := experiments.Fig7Points()
+		if err != nil {
+			log.Fatalf("benchfig: scaling sweep: %v", err)
+		}
+		if all || want["7"] {
+			fmt.Println(experiments.FormatFig7(points))
+		}
+		if all || want["8"] {
+			fmt.Println(experiments.FormatFig8(points))
+		}
+		if all || want["9"] {
+			fmt.Println(experiments.FormatFig9(points))
+		}
+	}
+	if all || want["t1"] {
+		s, err := experiments.T1Heartbeat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+	if all || want["t2"] {
+		s, err := experiments.T2SingleSimScaling()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+	if all || want["t3"] {
+		s, err := experiments.T3AdaptiveVsEven()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+}

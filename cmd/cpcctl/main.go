@@ -1,0 +1,164 @@
+// Command cpcctl is the Copernicus command-line client: it submits projects
+// to a server and monitors them — the paper's "command line client" from
+// Fig 1.
+//
+// Usage:
+//
+//	cpcctl -server host:7770 submit -name myrun -controller msm [flags]
+//	cpcctl -server host:7770 status -name myrun [-watch]
+//
+// Controller flags (submit):
+//
+//	msm: -generations -clusters -starts -tasks -segment-ns -weighting
+//	bar: -windows -samples -target-stderr -deltaf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/msm"
+	"copernicus/internal/overlay"
+	"copernicus/internal/wire"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:7770", "server address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cpcctl -server ADDR {submit|status} [flags]")
+		os.Exit(2)
+	}
+
+	id, err := overlay.NewIdentity()
+	if err != nil {
+		log.Fatalf("identity: %v", err)
+	}
+	trust := overlay.NewTrustStore()
+	tr, err := overlay.NewTLSTransport(id, trust)
+	if err != nil {
+		log.Fatalf("tls: %v", err)
+	}
+	node := overlay.NewNode(id, trust, tr)
+	defer node.Close()
+	serverID, err := node.ConnectPeer(*serverAddr)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *serverAddr, err)
+	}
+
+	switch flag.Arg(0) {
+	case "submit":
+		submit(node, serverID, flag.Args()[1:])
+	case "status":
+		status(node, flag.Args()[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "cpcctl: unknown subcommand %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func submit(node *overlay.Node, serverID string, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	name := fs.String("name", "", "project name (required)")
+	ctrl := fs.String("controller", "msm", "controller plugin: msm or bar")
+	// MSM flags.
+	generations := fs.Int("generations", 8, "msm: clustering generations")
+	clusters := fs.Int("clusters", 1000, "msm: microstate count")
+	starts := fs.Int("starts", 9, "msm: unfolded starting conformations")
+	tasks := fs.Int("tasks", 25, "msm: trajectories per start")
+	segment := fs.Float64("segment-ns", 50, "msm: command length in ns")
+	weighting := fs.String("weighting", "adaptive", "msm: adaptive or even")
+	// BAR flags.
+	windows := fs.Int("windows", 5, "bar: lambda windows")
+	samples := fs.Int("samples", 500, "bar: samples per command")
+	target := fs.Float64("target-stderr", 0.05, "bar: stop at this total error (kT)")
+	deltaf := fs.Float64("deltaf", 3.0, "bar: exact ΔF of the synthetic system (kT)")
+	seed := fs.Uint64("seed", 1, "project RNG seed")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if *name == "" {
+		log.Fatal("cpcctl submit: -name is required")
+	}
+
+	var params []byte
+	var err error
+	switch *ctrl {
+	case "msm":
+		p := controller.DefaultMSMParams()
+		p.Generations = *generations
+		p.Clusters = *clusters
+		p.NStarts = *starts
+		p.TasksPerStart = *tasks
+		p.SegmentNs = *segment
+		p.Seed = *seed
+		switch *weighting {
+		case "adaptive":
+			p.Weighting = msm.AdaptiveWeighting
+		case "even":
+			p.Weighting = msm.EvenWeighting
+		default:
+			log.Fatalf("cpcctl: unknown weighting %q", *weighting)
+		}
+		params, err = wire.Marshal(&p)
+	case "bar":
+		p := controller.DefaultBARParams()
+		p.Windows = *windows
+		p.SamplesPerCommand = *samples
+		p.TargetStdErr = *target
+		p.Offset = *deltaf
+		p.Seed = *seed
+		params, err = wire.Marshal(&p)
+	default:
+		log.Fatalf("cpcctl: unknown controller %q", *ctrl)
+	}
+	if err != nil {
+		log.Fatalf("encoding params: %v", err)
+	}
+
+	payload, err := wire.Marshal(&wire.ProjectSubmit{Name: *name, Controller: *ctrl, Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := node.Request(serverID, wire.MsgSubmit, payload, 30*time.Second); err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("cpcctl: project %q submitted (%s controller)\n", *name, *ctrl)
+}
+
+func status(node *overlay.Node, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	name := fs.String("name", "", "project name (required)")
+	watch := fs.Bool("watch", false, "poll until the project finishes")
+	interval := fs.Duration("interval", 5*time.Second, "watch poll interval")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if *name == "" {
+		log.Fatal("cpcctl status: -name is required")
+	}
+	for {
+		payload, err := wire.Marshal(&wire.ProjectStatusRequest{Name: *name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, err := node.Request("", wire.MsgStatus, payload, 30*time.Second)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		var st wire.ProjectStatus
+		if err := wire.Unmarshal(reply, &st); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  state=%s gen=%d queued=%d running=%d finished=%d failed=%d  %s\n",
+			st.Name, st.State, st.Generation, st.Queued, st.Running, st.Finished, st.Failed, st.Note)
+		if !*watch || st.State != "running" {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,100 @@
+// Command cpcserver runs a Copernicus server node over TLS: it listens for
+// workers, clients and peer servers, holds projects, and relays work. All
+// servers run identical code (the paper's symmetric architecture); a node
+// becomes a project server simply by receiving a submission.
+//
+// Usage:
+//
+//	cpcserver -listen :7770 [-peer host:port ...] [-seed N] [-fs-token T]
+//
+// With -seed the node identity is deterministic (useful for scripted
+// overlays); otherwise a fresh Ed25519 identity is generated and its node ID
+// printed so operators can exchange keys. Without -trust entries the server
+// accepts any peer (bootstrap mode), matching the paper's "open — but
+// authenticated" spectrum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/overlay"
+	"copernicus/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7770", "address to listen on")
+	peers := flag.String("peer", "", "comma-separated peer server addresses to connect to")
+	seed := flag.Uint64("seed", 0, "deterministic identity seed (0 = random identity)")
+	heartbeat := flag.Duration("heartbeat", 120*time.Second, "worker heartbeat interval")
+	monitor := flag.String("monitor", "", "HTTP monitoring address (e.g. :8080); empty disables")
+	fsToken := flag.String("fs-token", "", "shared-filesystem token (enables by-path result exchange)")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+
+	var id *overlay.Identity
+	if *seed != 0 {
+		id = overlay.NewIdentityFromSeed(*seed)
+	} else {
+		var err error
+		id, err = overlay.NewIdentity()
+		if err != nil {
+			log.Fatalf("generating identity: %v", err)
+		}
+	}
+	trust := overlay.NewTrustStore()
+	tr, err := overlay.NewTLSTransport(id, trust)
+	if err != nil {
+		log.Fatalf("tls transport: %v", err)
+	}
+	node := overlay.NewNode(id, trust, tr)
+	if *verbose {
+		node.Logf = log.Printf
+	}
+	if err := node.Listen(*listen); err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv := server.New(node, controller.DefaultRegistry(), server.Config{
+		HeartbeatInterval: *heartbeat,
+		FSToken:           *fsToken,
+		Logf:              logf,
+	})
+	defer srv.Close()
+	defer node.Close()
+
+	fmt.Printf("cpcserver: node %s listening on %s\n", node.ID(), *listen)
+	if *monitor != "" {
+		go func() {
+			fmt.Printf("cpcserver: monitoring interface on http://%s/\n", *monitor)
+			if err := http.ListenAndServe(*monitor, srv.MonitorHandler()); err != nil {
+				log.Printf("cpcserver: monitor: %v", err)
+			}
+		}()
+	}
+	if *peers != "" {
+		for _, addr := range strings.Split(*peers, ",") {
+			peerID, err := node.ConnectPeer(strings.TrimSpace(addr))
+			if err != nil {
+				log.Fatalf("connecting to peer %s: %v", addr, err)
+			}
+			fmt.Printf("cpcserver: connected to peer %s (%s)\n", addr, peerID)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("cpcserver: shutting down")
+}

@@ -1,0 +1,85 @@
+// Command cpcworker runs a Copernicus worker: it connects to its nearest
+// server over TLS, announces its resources and installed executables, and
+// executes simulation commands until interrupted — the bootstrap flow of
+// §2.3. Start one per batch-queue slot; the paper's pattern of submitting
+// workers to a cluster's queue maps to launching this binary from the job
+// script.
+//
+// Usage:
+//
+//	cpcworker -server head-node:7770 [-cores N] [-platform smp]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"copernicus/internal/engines"
+	"copernicus/internal/overlay"
+	"copernicus/internal/worker"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:7770", "nearest server address")
+	cores := flag.Int("cores", runtime.NumCPU(), "cores to announce")
+	platform := flag.String("platform", "smp", "platform plugin name")
+	poll := flag.Duration("poll", 2*time.Second, "idle re-announce interval")
+	fsToken := flag.String("fs-token", "", "shared-filesystem token")
+	spool := flag.String("spool", "", "shared-filesystem spool directory")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+
+	id, err := overlay.NewIdentity()
+	if err != nil {
+		log.Fatalf("generating identity: %v", err)
+	}
+	trust := overlay.NewTrustStore()
+	tr, err := overlay.NewTLSTransport(id, trust)
+	if err != nil {
+		log.Fatalf("tls transport: %v", err)
+	}
+	node := overlay.NewNode(id, trust, tr)
+	defer node.Close()
+
+	home, err := node.ConnectPeer(*serverAddr)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *serverAddr, err)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	wk, err := worker.New(node, home, engines.Default(), worker.Config{
+		Platform:     *platform,
+		Cores:        *cores,
+		PollInterval: *poll,
+		FSToken:      *fsToken,
+		SpoolDir:     *spool,
+		Logf:         logf,
+	})
+	if err != nil {
+		log.Fatalf("creating worker: %v", err)
+	}
+	fmt.Printf("cpcworker: %s attached to server %s (%d cores, platform %s)\n",
+		wk.ID(), home, *cores, *platform)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := wk.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("worker: %v", err)
+	}
+	fmt.Printf("cpcworker: done (%d commands completed)\n", wk.Completed())
+}

@@ -1,0 +1,44 @@
+// Scaling reproduces the paper's performance study (Figs 7–9) with the
+// discrete-event simulation of the controller's activity — the same
+// methodology the authors used: measure the single-simulation speedup
+// curve, then simulate the command queue for every (total cores, cores per
+// simulation) combination.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	copernicus "copernicus"
+	"copernicus/internal/experiments"
+)
+
+func main() {
+	base := copernicus.PaperScalingParams()
+	ref, err := copernicus.ScalingReference(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scaling: villin MSM command set, tres(1) = %.3g h (paper: 1.1e5 h)\n\n", ref)
+
+	points, err := experiments.Fig7Points()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.FormatFig7(points))
+	fmt.Println(experiments.FormatFig8(points))
+	fmt.Println(experiments.FormatFig9(points))
+
+	// The paper's headline: 20,000 cores at 53% efficiency, ~10 h.
+	p := base
+	p.TotalCores = 20000
+	p.CoresPerSim = 96
+	r, err := copernicus.SimulateScaling(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headline: 20,000 cores (96/sim): %.1f h at %.0f%% efficiency (paper: ~10 h, 53%%)\n",
+		r.Hours, 100*copernicus.ScalingEfficiency(ref, 20000, r.Hours))
+}

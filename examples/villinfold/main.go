@@ -1,0 +1,41 @@
+// Villinfold runs the paper's §3 experiment end-to-end: adaptive Markov-
+// State-Model sampling of the villin folding surrogate — 9 unfolded starts
+// × 25 trajectories, 50-ns commands, periodic clustering with adaptive
+// respawning — and prints the generation log plus the Figs 2–5 analyses.
+//
+//	go run ./examples/villinfold              # reduced scale (seconds)
+//	go run ./examples/villinfold -scale paper # full protocol (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"copernicus/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "small or paper")
+	workers := flag.Int("workers", 6, "fabric workers")
+	flag.Parse()
+
+	sc := experiments.ScaleSmall
+	if *scale == "paper" {
+		sc = experiments.ScalePaper
+	}
+	p := experiments.VillinParams(sc)
+	fmt.Printf("villinfold: %d starts × %d tasks, %g-ns segments, %d generations, %d clusters, %s weighting\n",
+		p.NStarts, p.TasksPerStart, p.SegmentNs, p.Generations, p.Clusters, p.Weighting)
+
+	res, err := experiments.RunVillin(sc, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(experiments.Fig2(res))
+	fmt.Println(experiments.Fig3(res))
+	fmt.Println(experiments.Fig4(res))
+	fmt.Println(experiments.Fig5(res))
+}

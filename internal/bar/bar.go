@@ -1,0 +1,194 @@
+// Package bar implements the Bennett Acceptance Ratio free-energy estimator
+// and its exponential-averaging (FEP) baseline. BAR-based free energy
+// perturbation is the second plugin the paper ships with Copernicus
+// ("Currently, Copernicus comes with plugins to run Markov-State-Model-
+// driven sampling and Bennett Acceptance Ratio free energy perturbation
+// calculations").
+//
+// All energies are in units of kT. The forward work values are
+// W_F = u₁(x) − u₀(x) evaluated on samples drawn from state 0, and the
+// reverse work values W_R = u₀(x) − u₁(x) on samples from state 1.
+package bar
+
+import (
+	"fmt"
+	"math"
+
+	"copernicus/internal/stats"
+)
+
+// Result is a free-energy estimate with its bootstrap standard error.
+type Result struct {
+	DeltaF float64 // free-energy difference F₁ − F₀ in kT
+	StdErr float64 // bootstrap standard error in kT
+	// Overlap in (0,1] measures phase-space overlap between the two work
+	// distributions; values near 0 flag an unreliable estimate.
+	Overlap float64
+}
+
+// fermi is the Fermi function 1/(1+eˣ).
+func fermi(x float64) float64 {
+	// Guard against overflow for large |x|.
+	if x > 500 {
+		return 0
+	}
+	if x < -500 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(x))
+}
+
+// Estimate solves the Bennett self-consistency equation
+//
+//	Σ_F f(M + W_F − ΔF) = Σ_R f(−M + W_R + ΔF),  M = ln(n_F/n_R)
+//
+// for ΔF by bisection (the left side decreases and the right side increases
+// monotonically in ΔF, so the root is unique). nBootstrap resamples give the
+// standard error; pass 0 to skip it.
+func Estimate(wF, wR []float64, nBootstrap int, seed uint64) (Result, error) {
+	if len(wF) == 0 || len(wR) == 0 {
+		return Result{}, fmt.Errorf("bar: need work values in both directions (got %d forward, %d reverse)", len(wF), len(wR))
+	}
+	for _, w := range append(append([]float64(nil), wF...), wR...) {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return Result{}, fmt.Errorf("bar: non-finite work value")
+		}
+	}
+	df, err := solve(wF, wR)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{DeltaF: df, Overlap: overlap(wF, wR, df)}
+	if nBootstrap > 1 {
+		// Joint bootstrap over both work sets: resample each, re-solve.
+		// stats.Bootstrap resamples one vector, so pack both with a tag.
+		res.StdErr = bootstrapSE(wF, wR, nBootstrap, seed)
+	}
+	return res, nil
+}
+
+func solve(wF, wR []float64) (float64, error) {
+	m := math.Log(float64(len(wF)) / float64(len(wR)))
+	g := func(df float64) float64 {
+		var l, r float64
+		for _, w := range wF {
+			l += fermi(m + w - df)
+		}
+		for _, w := range wR {
+			r += fermi(-m + w + df)
+		}
+		return l - r
+	}
+	// Bracket the root around the coarse FEP estimates.
+	lo, hi := -1.0, 1.0
+	if f := stats.Mean(wF); !math.IsNaN(f) {
+		lo = math.Min(lo, f-50)
+		hi = math.Max(hi, f+50)
+	}
+	if r := stats.Mean(wR); !math.IsNaN(r) {
+		lo = math.Min(lo, -r-50)
+		hi = math.Max(hi, -r+50)
+	}
+	glo, ghi := g(lo), g(hi)
+	for iter := 0; glo > 0 || ghi < 0; iter++ {
+		if iter > 60 {
+			return 0, fmt.Errorf("bar: failed to bracket the BAR root in [%g, %g]", lo, hi)
+		}
+		lo, hi = lo*2-1, hi*2+1
+		glo, ghi = g(lo), g(hi)
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+math.Abs(lo)); iter++ {
+		mid := 0.5 * (lo + hi)
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// overlap estimates the phase-space overlap as the mean Fermi acceptance in
+// both directions at the solved ΔF; 1 means perfectly overlapping
+// distributions, →0 means none.
+func overlap(wF, wR []float64, df float64) float64 {
+	m := math.Log(float64(len(wF)) / float64(len(wR)))
+	var s float64
+	for _, w := range wF {
+		s += fermi(m + w - df)
+	}
+	for _, w := range wR {
+		s += fermi(-m + w + df)
+	}
+	return 2 * s / float64(len(wF)+len(wR))
+}
+
+// bootstrapSE combines, in quadrature, the bootstrap variability of the
+// estimate under resampling of the forward and of the reverse work sets.
+func bootstrapSE(wF, wR []float64, n int, seed uint64) float64 {
+	seF := stats.Bootstrap(wF, n, seed, func(f []float64) float64 {
+		df, err := solve(f, wR)
+		if err != nil {
+			return 0
+		}
+		return df
+	})
+	seR := stats.Bootstrap(wR, n, seed^0xABCDEF, func(r []float64) float64 {
+		df, err := solve(wF, r)
+		if err != nil {
+			return 0
+		}
+		return df
+	})
+	return math.Sqrt(seF*seF + seR*seR)
+}
+
+// FEPForward returns the exponential-averaging (Zwanzig) estimate
+// ΔF = −ln⟨exp(−W_F)⟩ — the paper-era baseline BAR improves upon. The
+// log-sum-exp form keeps it overflow-safe.
+func FEPForward(wF []float64) (float64, error) {
+	if len(wF) == 0 {
+		return 0, fmt.Errorf("bar: no forward work values")
+	}
+	// −ln( (1/n) Σ exp(−w) ) = −( logsumexp(−w) − ln n )
+	maxNegW := math.Inf(-1)
+	for _, w := range wF {
+		if -w > maxNegW {
+			maxNegW = -w
+		}
+	}
+	s := 0.0
+	for _, w := range wF {
+		s += math.Exp(-w - maxNegW)
+	}
+	return -(maxNegW + math.Log(s/float64(len(wF)))), nil
+}
+
+// WindowResult is the estimate for one λ-window of a multi-window
+// perturbation chain.
+type WindowResult struct {
+	LambdaFrom, LambdaTo float64
+	Result
+}
+
+// Chain sums per-window BAR estimates along a λ path, propagating errors in
+// quadrature — the shape of the free-energy projects the Copernicus BAR
+// controller manages (one command per λ window).
+func Chain(windows []WindowResult) Result {
+	var total Result
+	var varSum float64
+	minOverlap := 1.0
+	for _, w := range windows {
+		total.DeltaF += w.DeltaF
+		varSum += w.StdErr * w.StdErr
+		if w.Overlap < minOverlap {
+			minOverlap = w.Overlap
+		}
+	}
+	if len(windows) == 0 {
+		minOverlap = 0
+	}
+	total.StdErr = math.Sqrt(varSum)
+	total.Overlap = minOverlap
+	return total
+}

@@ -1,0 +1,200 @@
+package bar
+
+import (
+	"math"
+	"testing"
+
+	"copernicus/internal/rng"
+)
+
+// harmonicWork generates forward and reverse work values for two 1-D
+// harmonic states u₀ = x²/2 and u₁ = (x−d)²/2 + c, whose exact free-energy
+// difference is c (equal stiffness ⇒ equal partition functions up to the
+// offset).
+func harmonicWork(n int, d, c float64, seed uint64) (wF, wR []float64) {
+	r := rng.New(seed)
+	u0 := func(x float64) float64 { return x * x / 2 }
+	u1 := func(x float64) float64 { return (x-d)*(x-d)/2 + c }
+	for i := 0; i < n; i++ {
+		x0 := r.Norm() // sample from state 0
+		wF = append(wF, u1(x0)-u0(x0))
+		x1 := d + r.Norm() // sample from state 1
+		wR = append(wR, u0(x1)-u1(x1))
+	}
+	return wF, wR
+}
+
+func TestEstimateRecoversKnownDeltaF(t *testing.T) {
+	for _, tc := range []struct{ d, c float64 }{
+		{0.5, 2.0},
+		{1.0, -1.5},
+		{0.0, 0.0},
+		{1.5, 5.0},
+	} {
+		wF, wR := harmonicWork(20000, tc.d, tc.c, 7)
+		res, err := Estimate(wF, wR, 0, 0)
+		if err != nil {
+			t.Fatalf("d=%v c=%v: %v", tc.d, tc.c, err)
+		}
+		if math.Abs(res.DeltaF-tc.c) > 0.05 {
+			t.Errorf("d=%v: ΔF = %v, want %v", tc.d, res.DeltaF, tc.c)
+		}
+		if res.Overlap <= 0 || res.Overlap > 1 {
+			t.Errorf("overlap = %v outside (0,1]", res.Overlap)
+		}
+	}
+}
+
+func TestEstimateAsymmetricSampleSizes(t *testing.T) {
+	wF, wR := harmonicWork(8000, 0.8, 1.0, 3)
+	res, err := Estimate(wF[:8000], wR[:2000], 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DeltaF-1.0) > 0.1 {
+		t.Errorf("asymmetric ΔF = %v, want 1.0", res.DeltaF)
+	}
+}
+
+func TestEstimateBootstrapError(t *testing.T) {
+	wFbig, wRbig := harmonicWork(5000, 0.5, 1.0, 11)
+	wFsmall, wRsmall := wFbig[:100], wRbig[:100]
+	big, err := Estimate(wFbig, wRbig, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Estimate(wFsmall, wRsmall, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.StdErr <= 0 || small.StdErr <= 0 {
+		t.Fatal("bootstrap errors should be positive")
+	}
+	if big.StdErr >= small.StdErr {
+		t.Errorf("more samples should shrink the error: %v (n=5000) vs %v (n=100)",
+			big.StdErr, small.StdErr)
+	}
+	// The true value should lie within a few standard errors.
+	if math.Abs(big.DeltaF-1.0) > 5*big.StdErr+0.02 {
+		t.Errorf("ΔF = %v ± %v does not cover 1.0", big.DeltaF, big.StdErr)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil, []float64{1}, 0, 0); err == nil {
+		t.Error("empty forward set should fail")
+	}
+	if _, err := Estimate([]float64{1}, nil, 0, 0); err == nil {
+		t.Error("empty reverse set should fail")
+	}
+	if _, err := Estimate([]float64{math.NaN()}, []float64{1}, 0, 0); err == nil {
+		t.Error("NaN work should fail")
+	}
+	if _, err := Estimate([]float64{1}, []float64{math.Inf(1)}, 0, 0); err == nil {
+		t.Error("Inf work should fail")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	wF, wR := harmonicWork(1000, 0.5, 1, 9)
+	a, _ := Estimate(wF, wR, 20, 13)
+	b, _ := Estimate(wF, wR, 20, 13)
+	if a != b {
+		t.Error("Estimate not deterministic for fixed seed")
+	}
+}
+
+func TestOverlapShrinksWithSeparation(t *testing.T) {
+	wFnear, wRnear := harmonicWork(5000, 0.2, 0, 1)
+	wFfar, wRfar := harmonicWork(5000, 6.0, 0, 1)
+	near, err := Estimate(wFnear, wRnear, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Estimate(wFfar, wRfar, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Overlap >= near.Overlap {
+		t.Errorf("overlap should shrink with separation: near %v, far %v",
+			near.Overlap, far.Overlap)
+	}
+}
+
+func TestFEPForward(t *testing.T) {
+	wF, _ := harmonicWork(50000, 0.3, 2.0, 21)
+	df, err := FEPForward(wF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(df-2.0) > 0.05 {
+		t.Errorf("FEP ΔF = %v, want 2.0", df)
+	}
+	if _, err := FEPForward(nil); err == nil {
+		t.Error("empty work set should fail")
+	}
+}
+
+func TestBARBeatsFEPAtPoorOverlap(t *testing.T) {
+	// With significant displacement, one-sided FEP is biased; BAR is not.
+	const trueDF = 1.0
+	var barErr, fepErr float64
+	for seed := uint64(0); seed < 5; seed++ {
+		wF, wR := harmonicWork(2000, 2.5, trueDF, 31+seed)
+		res, err := Estimate(wF, wR, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fep, err := FEPForward(wF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barErr += math.Abs(res.DeltaF - trueDF)
+		fepErr += math.Abs(fep - trueDF)
+	}
+	if barErr >= fepErr {
+		t.Errorf("BAR total error %v should beat one-sided FEP %v", barErr, fepErr)
+	}
+}
+
+func TestChain(t *testing.T) {
+	windows := []WindowResult{
+		{LambdaFrom: 0, LambdaTo: 0.5, Result: Result{DeltaF: 1, StdErr: 0.3, Overlap: 0.8}},
+		{LambdaFrom: 0.5, LambdaTo: 1, Result: Result{DeltaF: 2, StdErr: 0.4, Overlap: 0.6}},
+	}
+	total := Chain(windows)
+	if total.DeltaF != 3 {
+		t.Errorf("chain ΔF = %v", total.DeltaF)
+	}
+	if math.Abs(total.StdErr-0.5) > 1e-12 {
+		t.Errorf("chain error = %v, want 0.5", total.StdErr)
+	}
+	if total.Overlap != 0.6 {
+		t.Errorf("chain overlap = %v, want the minimum 0.6", total.Overlap)
+	}
+	if empty := Chain(nil); empty.DeltaF != 0 || empty.Overlap != 0 {
+		t.Errorf("empty chain = %+v", empty)
+	}
+}
+
+func TestFermiBounds(t *testing.T) {
+	if fermi(1000) != 0 {
+		t.Error("fermi overflow guard failed high")
+	}
+	if fermi(-1000) != 1 {
+		t.Error("fermi overflow guard failed low")
+	}
+	if math.Abs(fermi(0)-0.5) > 1e-15 {
+		t.Error("fermi(0) != 1/2")
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	wF, wR := harmonicWork(2000, 0.5, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(wF, wR, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

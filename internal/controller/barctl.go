@@ -1,0 +1,277 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"copernicus/internal/bar"
+	"copernicus/internal/engines"
+	"copernicus/internal/rng"
+	"copernicus/internal/wire"
+)
+
+// BARControllerName is the registry name of the free-energy plugin.
+const BARControllerName = "bar"
+
+// BARParams configures a Bennett-Acceptance-Ratio free-energy project: a
+// chain of λ windows, each sampled by work-value commands, iterated until
+// the total standard error falls below a target — the paper's stop
+// criterion "when the standard error estimate of the output result has
+// reached a user-specified minimum value".
+type BARParams struct {
+	Windows            int     // λ windows between 0 and 1
+	SamplesPerCommand  int     // work samples per command
+	BatchPerWindow     int     // commands submitted per window per round
+	TargetStdErr       float64 // stop once total ΔF error (kT) is below this
+	MaxRounds          int     // hard cap on sampling rounds
+	Displacement       float64 // alchemical displacement (see engines.BARPayload)
+	Offset             float64 // exact ΔF(0→1), for validation
+	Bootstrap          int     // bootstrap resamples for error bars
+	MinCores, MaxCores int
+	Seed               uint64
+}
+
+// DefaultBARParams returns a small but realistic free-energy project.
+func DefaultBARParams() BARParams {
+	return BARParams{
+		Windows:           5,
+		SamplesPerCommand: 500,
+		BatchPerWindow:    2,
+		TargetStdErr:      0.05,
+		MaxRounds:         10,
+		Displacement:      2.0,
+		Offset:            3.0,
+		Bootstrap:         50,
+		MinCores:          1,
+		MaxCores:          1,
+		Seed:              1,
+	}
+}
+
+func (p *BARParams) validate() error {
+	if p.Windows < 1 {
+		return fmt.Errorf("bar controller: need at least one window")
+	}
+	if p.SamplesPerCommand < 2 {
+		return fmt.Errorf("bar controller: need at least two samples per command")
+	}
+	if p.BatchPerWindow < 1 {
+		return fmt.Errorf("bar controller: need at least one command per window")
+	}
+	if p.TargetStdErr <= 0 {
+		return fmt.Errorf("bar controller: target standard error must be positive")
+	}
+	if p.MaxRounds < 1 {
+		p.MaxRounds = 1
+	}
+	if p.MinCores == 0 {
+		p.MinCores = 1
+	}
+	if p.MaxCores < p.MinCores {
+		p.MaxCores = p.MinCores
+	}
+	if p.Bootstrap < 2 {
+		p.Bootstrap = 50
+	}
+	return nil
+}
+
+// BARResult is the encoded project result.
+type BARResult struct {
+	Params  BARParams
+	Windows []bar.WindowResult
+	Total   bar.Result
+	Rounds  int
+	// ExactDeltaF is the analytic answer (Offset), recorded for validation.
+	ExactDeltaF float64
+	SamplesUsed int
+}
+
+// barWindow accumulates one window's work values.
+type barWindow struct {
+	lambdaFrom, lambdaTo float64
+	forward, reverse     []float64
+}
+
+// BARController implements the free-energy plugin.
+type BARController struct {
+	p        BARParams
+	rand     *rng.Source
+	windows  []*barWindow
+	inFlight map[string]int // command ID → window index
+	round    int
+	nextCmd  int
+	samples  int
+}
+
+// NewBARController returns an uninitialised BAR controller.
+func NewBARController() *BARController {
+	return &BARController{inFlight: make(map[string]int)}
+}
+
+// Name implements Controller.
+func (c *BARController) Name() string { return BARControllerName }
+
+// Start implements Controller.
+func (c *BARController) Start(ctx Context, params []byte) error {
+	if err := wire.Unmarshal(params, &c.p); err != nil {
+		return fmt.Errorf("bar controller: params: %w", err)
+	}
+	if err := c.p.validate(); err != nil {
+		return err
+	}
+	c.rand = rng.New(c.p.Seed ^ ctx.Seed())
+	for w := 0; w < c.p.Windows; w++ {
+		c.windows = append(c.windows, &barWindow{
+			lambdaFrom: float64(w) / float64(c.p.Windows),
+			lambdaTo:   float64(w+1) / float64(c.p.Windows),
+		})
+	}
+	c.round = 1
+	if err := c.submitRound(ctx); err != nil {
+		return err
+	}
+	ctx.SetStatus(0, fmt.Sprintf("round 1: sampling %d windows", c.p.Windows))
+	return nil
+}
+
+// submitRound queues a batch of sampling commands for every window.
+func (c *BARController) submitRound(ctx Context) error {
+	for wi, w := range c.windows {
+		for b := 0; b < c.p.BatchPerWindow; b++ {
+			// The engine's potential carries λ·Offset, so each window's
+			// exact contribution is Δλ·Offset and the chain totals Offset.
+			payload, err := wire.Marshal(&engines.BARPayload{
+				LambdaFrom:   w.lambdaFrom,
+				LambdaTo:     w.lambdaTo,
+				Displacement: c.p.Displacement,
+				Offset:       c.p.Offset,
+				NSamples:     c.p.SamplesPerCommand,
+				Seed:         c.rand.Uint64(),
+			})
+			if err != nil {
+				return err
+			}
+			id := fmt.Sprintf("bar-w%02d-c%05d", wi, c.nextCmd)
+			c.nextCmd++
+			cmd := wire.CommandSpec{
+				ID:       id,
+				Type:     engines.BARName,
+				MinCores: c.p.MinCores,
+				MaxCores: c.p.MaxCores,
+				Payload:  payload,
+			}
+			if err := ctx.Submit(cmd); err != nil {
+				return err
+			}
+			c.inFlight[id] = wi
+		}
+	}
+	return nil
+}
+
+// CommandFinished implements Controller.
+func (c *BARController) CommandFinished(ctx Context, res *wire.CommandResult) error {
+	wi, ok := c.inFlight[res.CommandID]
+	if !ok {
+		return nil
+	}
+	delete(c.inFlight, res.CommandID)
+	var out engines.BAROutput
+	if err := wire.Unmarshal(res.Output, &out); err != nil {
+		return fmt.Errorf("bar controller: output: %w", err)
+	}
+	w := c.windows[wi]
+	w.forward = append(w.forward, out.Forward...)
+	w.reverse = append(w.reverse, out.Reverse...)
+	c.samples += len(out.Forward) + len(out.Reverse)
+
+	if len(c.inFlight) > 0 {
+		return nil
+	}
+	// Round complete: estimate, then stop or sample more.
+	total, windows, err := c.estimate()
+	if err != nil {
+		return err
+	}
+	if total.StdErr <= c.p.TargetStdErr || c.round >= c.p.MaxRounds {
+		blob, err := wire.Marshal(&BARResult{
+			Params:      c.p,
+			Windows:     windows,
+			Total:       total,
+			Rounds:      c.round,
+			ExactDeltaF: c.p.Offset,
+			SamplesUsed: c.samples,
+		})
+		if err != nil {
+			return err
+		}
+		ctx.Finish(blob)
+		return nil
+	}
+	c.round++
+	ctx.SetStatus(c.round, fmt.Sprintf("round %d: ΔF=%.3f ± %.3f kT (target ±%.3f)",
+		c.round, total.DeltaF, total.StdErr, c.p.TargetStdErr))
+	return c.submitRound(ctx)
+}
+
+// CommandFailed implements Controller: BAR commands are cheap and
+// independent, so a terminal failure is simply dropped from the round.
+func (c *BARController) CommandFailed(ctx Context, cmd wire.CommandSpec, reason string) error {
+	wi, ok := c.inFlight[cmd.ID]
+	if !ok {
+		return nil
+	}
+	delete(c.inFlight, cmd.ID)
+	ctx.Logf("bar: command %s for window %d lost (%s)", cmd.ID, wi, reason)
+	if len(c.inFlight) == 0 {
+		// Finish the round with whatever arrived.
+		return c.CommandFinishedTail(ctx)
+	}
+	return nil
+}
+
+// CommandFinishedTail re-runs the round-completion logic after a failure
+// emptied the in-flight set.
+func (c *BARController) CommandFinishedTail(ctx Context) error {
+	total, windows, err := c.estimate()
+	if err != nil {
+		return err
+	}
+	if total.StdErr <= c.p.TargetStdErr || c.round >= c.p.MaxRounds {
+		blob, err := wire.Marshal(&BARResult{
+			Params: c.p, Windows: windows, Total: total,
+			Rounds: c.round, ExactDeltaF: c.p.Offset, SamplesUsed: c.samples,
+		})
+		if err != nil {
+			return err
+		}
+		ctx.Finish(blob)
+		return nil
+	}
+	c.round++
+	return c.submitRound(ctx)
+}
+
+// estimate runs BAR per window and chains the results.
+func (c *BARController) estimate() (bar.Result, []bar.WindowResult, error) {
+	var windows []bar.WindowResult
+	for wi, w := range c.windows {
+		if len(w.forward) == 0 || len(w.reverse) == 0 {
+			// A window with no data yet contributes infinite uncertainty.
+			windows = append(windows, bar.WindowResult{
+				LambdaFrom: w.lambdaFrom, LambdaTo: w.lambdaTo,
+				Result: bar.Result{StdErr: math.Inf(1)},
+			})
+			continue
+		}
+		res, err := bar.Estimate(w.forward, w.reverse, c.p.Bootstrap, c.p.Seed+uint64(wi))
+		if err != nil {
+			return bar.Result{}, nil, err
+		}
+		windows = append(windows, bar.WindowResult{
+			LambdaFrom: w.lambdaFrom, LambdaTo: w.lambdaTo, Result: res,
+		})
+	}
+	return bar.Chain(windows), windows, nil
+}

@@ -1,0 +1,282 @@
+// Package core assembles the Copernicus pieces into runnable deployments:
+// an overlay of servers, a fleet of workers with the standard engines, and
+// client-side helpers to submit projects and wait for their results.
+//
+// The Fabric type is the in-process deployment used by tests, examples and
+// benchmarks — functionally the Fig 1 topology (project server, relay
+// servers, workers) over the in-memory transport. Real deployments use the
+// same server/worker packages over TLS via cmd/cpcserver and cmd/cpcworker.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/engines"
+	"copernicus/internal/overlay"
+	"copernicus/internal/server"
+	"copernicus/internal/wire"
+	"copernicus/internal/worker"
+)
+
+// FabricConfig shapes an in-process deployment.
+type FabricConfig struct {
+	// Servers is the length of the server chain; Servers[0] is the project
+	// server, the rest act as relays (≥1; default 1).
+	Servers int
+	// WorkersPerServer attaches that many workers to every server
+	// (default 2).
+	WorkersPerServer int
+	// WorkerCores is each worker's announced core count (default 1).
+	WorkerCores int
+	// Heartbeat is the server-side heartbeat interval (default 200 ms in
+	// fabric deployments — scaled down from the paper's 120 s so tests can
+	// exercise failure detection quickly).
+	Heartbeat time.Duration
+	// Poll is the workers' idle re-announce interval (default 20 ms).
+	Poll time.Duration
+	// Latency injects a per-write delay on the in-memory network.
+	Latency time.Duration
+	// Engines overrides the default engine set.
+	Engines []engines.Engine
+	// Registry overrides the default controller registry.
+	Registry *controller.Registry
+	// FSToken simulates a shared filesystem between servers and workers
+	// when non-empty; SpoolDir is where outputs are exchanged.
+	FSToken  string
+	SpoolDir string
+	// Logf receives diagnostics from every component.
+	Logf func(format string, args ...any)
+}
+
+func (c *FabricConfig) fill() {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.WorkersPerServer <= 0 {
+		c.WorkersPerServer = 2
+	}
+	if c.WorkerCores <= 0 {
+		c.WorkerCores = 1
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 200 * time.Millisecond
+	}
+	if c.Poll <= 0 {
+		c.Poll = 20 * time.Millisecond
+	}
+	if c.Engines == nil {
+		c.Engines = engines.Default()
+	}
+	if c.Registry == nil {
+		c.Registry = controller.DefaultRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Fabric is a running in-process Copernicus deployment.
+type Fabric struct {
+	Net     *overlay.MemNetwork
+	Servers []*server.Server
+	Workers []*worker.Worker
+
+	nodes  []*overlay.Node
+	client *overlay.Node
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewFabric builds and starts the deployment: a chain of servers
+// (server-0 — server-1 — …), workers attached round-robin, and a client
+// node connected to the project server.
+func NewFabric(cfg FabricConfig) (*Fabric, error) {
+	cfg.fill()
+	f := &Fabric{Net: overlay.NewMemNetwork()}
+	f.Net.Latency = cfg.Latency
+	tr := f.Net.Transport()
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+
+	seed := uint64(1000)
+	newNode := func() *overlay.Node {
+		seed++
+		n := overlay.NewNode(overlay.NewIdentityFromSeed(seed), overlay.NewTrustStore(), tr)
+		n.Logf = cfg.Logf
+		f.nodes = append(f.nodes, n)
+		return n
+	}
+
+	// Server chain.
+	for i := 0; i < cfg.Servers; i++ {
+		node := newNode()
+		addr := fmt.Sprintf("server-%d", i)
+		if err := node.Listen(addr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if i > 0 {
+			if _, err := node.ConnectPeer(fmt.Sprintf("server-%d", i-1)); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		srv := server.New(node, cfg.Registry, server.Config{
+			HeartbeatInterval: cfg.Heartbeat,
+			RelayTimeout:      2 * time.Second,
+			FSToken:           cfg.FSToken,
+			Logf:              cfg.Logf,
+		})
+		f.Servers = append(f.Servers, srv)
+	}
+
+	// Workers, attached round-robin across servers.
+	for i := 0; i < cfg.Servers*cfg.WorkersPerServer; i++ {
+		node := newNode()
+		home := f.Servers[i%cfg.Servers]
+		if _, err := node.ConnectPeer(fmt.Sprintf("server-%d", i%cfg.Servers)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		wk, err := worker.New(node, home.Node().ID(), cfg.Engines, worker.Config{
+			Cores:        cfg.WorkerCores,
+			PollInterval: cfg.Poll,
+			FSToken:      cfg.FSToken,
+			SpoolDir:     cfg.SpoolDir,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Workers = append(f.Workers, wk)
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			_ = wk.Run(ctx)
+		}()
+	}
+
+	// Client node for submissions and monitoring.
+	f.client = newNode()
+	if _, err := f.client.ConnectPeer("server-0"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// ProjectServer returns the server holding submitted projects.
+func (f *Fabric) ProjectServer() *server.Server { return f.Servers[0] }
+
+// Submit creates a project on the project server through the wire protocol
+// (exactly what cmd/cpcctl does over TLS).
+func (f *Fabric) Submit(name, controllerName string, params any) error {
+	blob, err := wire.Marshal(params)
+	if err != nil {
+		return err
+	}
+	payload, err := wire.Marshal(&wire.ProjectSubmit{
+		Name:       name,
+		Controller: controllerName,
+		Params:     blob,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = f.client.Request(f.Servers[0].Node().ID(), wire.MsgSubmit, payload, overlay.DefaultRequestTimeout)
+	return err
+}
+
+// Status queries a project over the wire.
+func (f *Fabric) Status(name string) (wire.ProjectStatus, error) {
+	payload, err := wire.Marshal(&wire.ProjectStatusRequest{Name: name})
+	if err != nil {
+		return wire.ProjectStatus{}, err
+	}
+	reply, err := f.client.Request("", wire.MsgStatus, payload, overlay.DefaultRequestTimeout)
+	if err != nil {
+		return wire.ProjectStatus{}, err
+	}
+	var st wire.ProjectStatus
+	if err := wire.Unmarshal(reply, &st); err != nil {
+		return wire.ProjectStatus{}, err
+	}
+	return st, nil
+}
+
+// Wait blocks until the project completes and returns its final status.
+func (f *Fabric) Wait(name string, timeout time.Duration) (wire.ProjectStatus, error) {
+	return f.Servers[0].WaitProject(name, timeout)
+}
+
+// Close tears the deployment down.
+func (f *Fabric) Close() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	for _, s := range f.Servers {
+		s.Close()
+	}
+	f.wg.Wait()
+	for _, n := range f.nodes {
+		n.Close()
+	}
+	if f.client != nil {
+		f.client.Close()
+	}
+}
+
+// RunMSM executes a full adaptive MSM project on a fresh fabric and returns
+// the decoded result — the one-call entry point behind the villin
+// experiments (Figs 2–5).
+func RunMSM(params controller.MSMParams, cfg FabricConfig, timeout time.Duration) (*controller.MSMResult, error) {
+	f, err := NewFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := f.Submit("msm-project", controller.MSMControllerName, &params); err != nil {
+		return nil, err
+	}
+	st, err := f.Wait("msm-project", timeout)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != "finished" {
+		return nil, fmt.Errorf("core: MSM project ended in state %q: %s", st.State, st.Note)
+	}
+	var res controller.MSMResult
+	if err := wire.Unmarshal(st.Result, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunBAR executes a BAR free-energy project on a fresh fabric.
+func RunBAR(params controller.BARParams, cfg FabricConfig, timeout time.Duration) (*controller.BARResult, error) {
+	f, err := NewFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := f.Submit("bar-project", controller.BARControllerName, &params); err != nil {
+		return nil, err
+	}
+	st, err := f.Wait("bar-project", timeout)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != "finished" {
+		return nil, fmt.Errorf("core: BAR project ended in state %q: %s", st.State, st.Note)
+	}
+	var res controller.BARResult
+	if err := wire.Unmarshal(st.Result, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

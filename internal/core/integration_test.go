@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/engines"
+	"copernicus/internal/overlay"
+	"copernicus/internal/server"
+	"copernicus/internal/wire"
+	"copernicus/internal/worker"
+)
+
+// TestTLSDeploymentEndToEnd runs a complete project over real TLS on
+// localhost — the deployment path of cmd/cpcserver + cmd/cpcworker +
+// cpcctl, with mutual key exchange.
+func TestTLSDeploymentEndToEnd(t *testing.T) {
+	serverID := overlay.NewIdentityFromSeed(101)
+	workerID := overlay.NewIdentityFromSeed(102)
+	clientID := overlay.NewIdentityFromSeed(103)
+
+	// Explicit key exchange: the server trusts the worker and the client;
+	// they trust the server.
+	sTrust := overlay.NewTrustStore()
+	sTrust.Add(workerID.Pub)
+	sTrust.Add(clientID.Pub)
+	wTrust := overlay.NewTrustStore()
+	wTrust.Add(serverID.Pub)
+	cTrust := overlay.NewTrustStore()
+	cTrust.Add(serverID.Pub)
+
+	mkNode := func(id *overlay.Identity, trust *overlay.TrustStore) *overlay.Node {
+		tr, err := overlay.NewTLSTransport(id, trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return overlay.NewNode(id, trust, tr)
+	}
+	sNode := mkNode(serverID, sTrust)
+	if err := sNode.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer sNode.Close()
+	addr := sNode.ListenAddrs()[0]
+
+	srv := server.New(sNode, controller.DefaultRegistry(), server.Config{
+		HeartbeatInterval: time.Second,
+	})
+	defer srv.Close()
+
+	wNode := mkNode(workerID, wTrust)
+	defer wNode.Close()
+	if _, err := wNode.ConnectPeer(addr); err != nil {
+		t.Fatal(err)
+	}
+	wk, err := worker.New(wNode, sNode.ID(), engines.Default(), worker.Config{
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = wk.Run(ctx) }()
+
+	// Submit a small BAR project through a TLS client, like cpcctl.
+	cNode := mkNode(clientID, cTrust)
+	defer cNode.Close()
+	if _, err := cNode.ConnectPeer(addr); err != nil {
+		t.Fatal(err)
+	}
+	p := controller.DefaultBARParams()
+	p.Windows = 2
+	p.SamplesPerCommand = 200
+	p.BatchPerWindow = 1
+	p.TargetStdErr = 0.5
+	params, err := wire.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.Marshal(&wire.ProjectSubmit{
+		Name: "tls-project", Controller: "bar", Params: params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cNode.Request(sNode.ID(), wire.MsgSubmit, payload, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.WaitProject("tls-project", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "finished" {
+		t.Fatalf("state = %q (%s)", st.State, st.Note)
+	}
+	var res controller.BARResult
+	if err := wire.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed == 0 {
+		t.Error("no work executed over TLS")
+	}
+}
+
+// TestHighLatencyFabric injects per-write latency into the overlay — the
+// paper's clusters-on-different-continents scenario — and verifies the
+// project still completes correctly.
+func TestHighLatencyFabric(t *testing.T) {
+	p := controller.DefaultBARParams()
+	p.Windows = 2
+	p.SamplesPerCommand = 100
+	p.BatchPerWindow = 1
+	p.TargetStdErr = 0.5
+	f, err := NewFabric(FabricConfig{
+		Servers:          2,
+		WorkersPerServer: 1,
+		Latency:          2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Submit("wan", controller.BARControllerName, &p); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Wait("wan", 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "finished" {
+		t.Fatalf("state = %q (%s)", st.State, st.Note)
+	}
+}

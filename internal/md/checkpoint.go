@@ -1,0 +1,84 @@
+package md
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"copernicus/internal/topology"
+	"copernicus/internal/vec"
+)
+
+// checkpointVersion guards against decoding checkpoints from incompatible
+// engine revisions; bump on any change to checkpointData.
+const checkpointVersion = 1
+
+// checkpointData is the serialised simulation state. Positions and
+// velocities plus the RNG and thermostat state are sufficient to continue
+// bit-for-bit; forces are recomputed on resume.
+type checkpointData struct {
+	Version int
+	Step    int64
+	Time    float64
+	Pos     []vec.V3
+	Vel     []vec.V3
+	Rng     []byte
+	XiNH    float64
+}
+
+// Checkpoint serialises the full dynamic state of the simulation. The
+// topology and Config are deliberately not included: they travel with the
+// command definition, so a different worker can resume the run from just
+// (command spec, checkpoint) — the hand-off described in the paper's §2.3.
+func (s *Sim) Checkpoint() ([]byte, error) {
+	rstate, err := s.rand.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("md: serialising rng: %w", err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	err = enc.Encode(checkpointData{
+		Version: checkpointVersion,
+		Step:    s.step,
+		Time:    s.time,
+		Pos:     s.pos,
+		Vel:     s.vel,
+		Rng:     rstate,
+		XiNH:    s.xiNH,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("md: encoding checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Resume reconstructs a simulation from a system definition, a config, and a
+// checkpoint previously produced by Checkpoint. The system's initial
+// positions are ignored in favour of the checkpointed state.
+func Resume(sys *topology.System, cfg Config, checkpoint []byte) (*Sim, error) {
+	var data checkpointData
+	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&data); err != nil {
+		return nil, fmt.Errorf("md: decoding checkpoint: %w", err)
+	}
+	if data.Version != checkpointVersion {
+		return nil, fmt.Errorf("md: checkpoint version %d, engine expects %d", data.Version, checkpointVersion)
+	}
+	s, err := New(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(data.Pos) != len(s.pos) || len(data.Vel) != len(s.vel) {
+		return nil, fmt.Errorf("md: checkpoint has %d atoms, system has %d", len(data.Pos), len(s.pos))
+	}
+	copy(s.pos, data.Pos)
+	copy(s.vel, data.Vel)
+	s.step = data.Step
+	s.time = data.Time
+	s.xiNH = data.XiNH
+	if err := s.rand.UnmarshalBinary(data.Rng); err != nil {
+		return nil, fmt.Errorf("md: restoring rng: %w", err)
+	}
+	s.nbl.rebuild(s.pos, s.top)
+	s.computeForces()
+	return s, nil
+}

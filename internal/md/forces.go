@@ -1,0 +1,241 @@
+package md
+
+import (
+	"math"
+	"sync"
+
+	"copernicus/internal/topology"
+	"copernicus/internal/vec"
+)
+
+// shardPool holds per-shard force buffers and the worker goroutine fan-out
+// used by the non-bonded loop — the "thread" level of the paper's hierarchy.
+type shardPool struct {
+	n      int // shard count
+	forces [][]vec.V3
+	eLJ    []float64
+	eCoul  []float64
+}
+
+func newShardPool(shards, natoms int) *shardPool {
+	p := &shardPool{
+		n:      shards,
+		forces: make([][]vec.V3, shards),
+		eLJ:    make([]float64, shards),
+		eCoul:  make([]float64, shards),
+	}
+	for i := range p.forces {
+		p.forces[i] = make([]vec.V3, natoms)
+	}
+	return p
+}
+
+// computeForces evaluates all force-field terms into s.frc and stores the
+// potential-energy breakdown in s.pot.
+func (s *Sim) computeForces() {
+	for i := range s.frc {
+		s.frc[i] = vec.Zero
+	}
+	s.pot = Energies{}
+	s.nonbondedForces()
+	s.bondForces()
+	s.angleForces()
+	s.dihedralForces()
+}
+
+// nonbondedForces evaluates LJ + reaction-field Coulomb over the pair list,
+// sharded across goroutines with private force accumulators that are reduced
+// at the end. With Shards == 1 it runs inline with no synchronisation.
+func (s *Sim) nonbondedForces() {
+	pairs := s.nbl.pairs
+	if s.shards.n <= 1 || len(pairs) < 256 {
+		lj, coul := s.nonbondedRange(pairs, s.frc)
+		s.pot.LJ += lj
+		s.pot.Coulomb += coul
+		return
+	}
+
+	ns := s.shards.n
+	chunk := (len(pairs) + ns - 1) / ns
+	var wg sync.WaitGroup
+	for w := 0; w < ns; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := s.shards.forces[w]
+			for i := range buf {
+				buf[i] = vec.Zero
+			}
+			s.shards.eLJ[w], s.shards.eCoul[w] = s.nonbondedRange(pairs[lo:hi], buf)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < ns; w++ {
+		if w*chunk >= len(pairs) {
+			break
+		}
+		buf := s.shards.forces[w]
+		for i := range s.frc {
+			s.frc[i] = s.frc[i].Add(buf[i])
+		}
+		s.pot.LJ += s.shards.eLJ[w]
+		s.pot.Coulomb += s.shards.eCoul[w]
+	}
+}
+
+// nonbondedRange computes LJ and reaction-field Coulomb interactions for a
+// slice of the pair list, accumulating forces into out. It returns the LJ
+// and Coulomb energy contributions.
+//
+// Reaction field: V(r) = f q_i q_j (1/r + k_rf r² − c_rf) for r < r_c, with
+// k_rf = (ε−1)/((2ε+1) r_c³) and c_rf = 1/r_c + k_rf r_c², so the potential
+// and field vanish smoothly at the cutoff — the paper's villin protocol.
+func (s *Sim) nonbondedRange(pairs []pair, out []vec.V3) (eLJ, eCoul float64) {
+	rc := s.cfg.Cutoff
+	rc2 := rc * rc
+	var krf, crf float64
+	if s.cfg.EpsilonRF > 0 {
+		eps := s.cfg.EpsilonRF
+		krf = (eps - 1) / ((2*eps + 1) * rc * rc * rc)
+		crf = 1/rc + krf*rc2
+	} else {
+		crf = 1 / rc // plain shifted Coulomb
+	}
+
+	// Cut-and-shifted LJ: subtracting V(rc) per pair keeps the potential
+	// continuous at the cutoff, which is what makes NVE energy conservation
+	// possible with a plain cutoff.
+	invRc2 := 1 / rc2
+	invRc6 := invRc2 * invRc2 * invRc2
+
+	atoms := s.top.Atoms
+	for _, p := range pairs {
+		i, j := int(p.i), int(p.j)
+		d := s.box.MinImage(s.pos[i], s.pos[j])
+		r2 := d.Norm2()
+		if r2 > rc2 || r2 == 0 {
+			continue
+		}
+		inv2 := 1 / r2
+		inv6 := inv2 * inv2 * inv2
+
+		c6, c12 := s.top.LJPair(atoms[i].Type, atoms[j].Type)
+		// F(r)·r̂/r = (12 c12 r⁻¹² − 6 c6 r⁻⁶) / r²
+		fr := (12*c12*inv6*inv6 - 6*c6*inv6) * inv2
+		eLJ += c12*inv6*inv6 - c6*inv6 - (c12*invRc6*invRc6 - c6*invRc6)
+
+		qq := atoms[i].Charge * atoms[j].Charge
+		if qq != 0 {
+			r := math.Sqrt(r2)
+			qqf := topology.CoulombConst * qq
+			eCoul += qqf * (1/r + krf*r2 - crf)
+			fr += qqf * (1/(r2*r) - 2*krf)
+		}
+
+		f := d.Scale(fr)
+		out[i] = out[i].Add(f)
+		out[j] = out[j].Sub(f)
+	}
+	return eLJ, eCoul
+}
+
+// bondForces evaluates harmonic bonds V = ½K(r−r₀)².
+func (s *Sim) bondForces() {
+	for _, b := range s.top.Bonds {
+		d := s.box.MinImage(s.pos[b.I], s.pos[b.J])
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		dr := r - b.R0
+		s.pot.Bond += 0.5 * b.K * dr * dr
+		// F_I = −K (r−r₀) r̂
+		f := d.Scale(-b.K * dr / r)
+		s.frc[b.I] = s.frc[b.I].Add(f)
+		s.frc[b.J] = s.frc[b.J].Sub(f)
+	}
+}
+
+// angleForces evaluates harmonic angles V = ½K(θ−θ₀)².
+func (s *Sim) angleForces() {
+	for _, a := range s.top.Angles {
+		rij := s.box.MinImage(s.pos[a.I], s.pos[a.J])
+		rkj := s.box.MinImage(s.pos[a.K], s.pos[a.J])
+		nij, nkj := rij.Norm(), rkj.Norm()
+		if nij == 0 || nkj == 0 {
+			continue
+		}
+		cosT := rij.Dot(rkj) / (nij * nkj)
+		cosT = math.Max(-1, math.Min(1, cosT))
+		theta := math.Acos(cosT)
+		dT := theta - a.Theta0
+		s.pot.Angle += 0.5 * a.KForce * dT * dT
+
+		sinT := math.Sqrt(1 - cosT*cosT)
+		if sinT < 1e-8 {
+			continue // collinear: force direction undefined, energy still counted
+		}
+		// dV/dθ = K (θ−θ₀); chain rule through cos θ.
+		c := -a.KForce * dT / sinT
+		fi := rkj.Scale(1 / (nij * nkj)).Sub(rij.Scale(cosT / (nij * nij))).Scale(c)
+		fk := rij.Scale(1 / (nij * nkj)).Sub(rkj.Scale(cosT / (nkj * nkj))).Scale(c)
+		s.frc[a.I] = s.frc[a.I].Add(fi)
+		s.frc[a.K] = s.frc[a.K].Add(fk)
+		s.frc[a.J] = s.frc[a.J].Sub(fi.Add(fk))
+	}
+}
+
+// dihedralForces evaluates periodic dihedrals V = K(1 + cos(nφ − φ₀)) with
+// the Gromacs dih_angle/do_dih_fup vector decomposition: with
+// r_ij = r_i − r_j, r_kj = r_k − r_j, r_kl = r_k − r_l,
+// m = r_ij × r_kj, n = r_kj × r_kl, the signed angle is
+// φ = atan2((r_ij·n)|r_kj|, m·n), and
+// F_i = −(dV/dφ)(|r_kj|/|m|²) m, F_l = (dV/dφ)(|r_kj|/|n|²) n,
+// with F_j, F_k fixed by momentum and torque conservation.
+func (s *Sim) dihedralForces() {
+	for _, d := range s.top.Dihedrals {
+		rij := s.box.MinImage(s.pos[d.I], s.pos[d.J])
+		rkj := s.box.MinImage(s.pos[d.K], s.pos[d.J])
+		rkl := s.box.MinImage(s.pos[d.K], s.pos[d.L])
+
+		m := rij.Cross(rkj)
+		nvec := rkj.Cross(rkl)
+		m2 := m.Norm2()
+		n2 := nvec.Norm2()
+		rkjn := rkj.Norm()
+		if m2 < 1e-18 || n2 < 1e-18 || rkjn < 1e-10 {
+			continue // collinear configuration: dihedral undefined
+		}
+		phi := math.Atan2(rij.Dot(nvec)*rkjn, m.Dot(nvec))
+
+		nf := float64(d.Mult)
+		s.pot.Dihedral += d.KForce * (1 + math.Cos(nf*phi-d.Phi0))
+		// dV/dφ = −K n sin(nφ − φ₀)
+		dVdPhi := -d.KForce * nf * math.Sin(nf*phi-d.Phi0)
+
+		fI := m.Scale(-dVdPhi * rkjn / m2)
+		fL := nvec.Scale(dVdPhi * rkjn / n2)
+		p := rij.Dot(rkj) / (rkjn * rkjn)
+		q := rkl.Dot(rkj) / (rkjn * rkjn)
+		sv := fI.Scale(p).Sub(fL.Scale(q))
+		fJ := sv.Sub(fI)
+		fK := fL.Neg().Sub(sv)
+
+		s.frc[d.I] = s.frc[d.I].Add(fI)
+		s.frc[d.J] = s.frc[d.J].Add(fJ)
+		s.frc[d.K] = s.frc[d.K].Add(fK)
+		s.frc[d.L] = s.frc[d.L].Add(fL)
+	}
+}
+
+// Forces returns a copy of the current force array (for testing and the
+// rank-decomposition driver).
+func (s *Sim) Forces() []vec.V3 { return append([]vec.V3(nil), s.frc...) }

@@ -1,0 +1,167 @@
+package md
+
+import (
+	"copernicus/internal/topology"
+	"copernicus/internal/vec"
+)
+
+// pair is one unexcluded non-bonded pair within the listing radius.
+type pair struct{ i, j int32 }
+
+// neighborList produces the pair list consumed by the non-bonded kernel.
+// For periodic boxes it uses a linked-cell decomposition with cells at least
+// rlist wide; for aperiodic systems (single molecules in vacuo) it falls
+// back to an O(n²) sweep, which is fine at the system sizes involved.
+type neighborList struct {
+	box   vec.Box
+	rlist float64 // cutoff + skin
+	pairs []pair
+
+	// cell grid scratch, reused across rebuilds
+	nc      [3]int
+	heads   []int32
+	next    []int32
+	cellDim vec.V3
+}
+
+func newNeighborList(box vec.Box, rlist float64) *neighborList {
+	return &neighborList{box: box, rlist: rlist}
+}
+
+// periodic reports whether all three axes are periodic, the only case the
+// cell grid handles.
+func (nl *neighborList) periodic() bool {
+	return nl.box.L.X > 0 && nl.box.L.Y > 0 && nl.box.L.Z > 0
+}
+
+// rebuild regenerates the pair list from current positions.
+func (nl *neighborList) rebuild(pos []vec.V3, top *topology.Topology) {
+	nl.pairs = nl.pairs[:0]
+	if nl.periodic() && nl.gridFits() {
+		nl.rebuildCells(pos, top)
+	} else {
+		nl.rebuildAllPairs(pos, top)
+	}
+}
+
+// gridFits reports whether the box supports at least 3 cells per axis, the
+// minimum for the half-shell cell traversal to visit each image once.
+func (nl *neighborList) gridFits() bool {
+	for _, l := range [3]float64{nl.box.L.X, nl.box.L.Y, nl.box.L.Z} {
+		if int(l/nl.rlist) < 3 {
+			return false
+		}
+	}
+	return true
+}
+
+func (nl *neighborList) rebuildAllPairs(pos []vec.V3, top *topology.Topology) {
+	r2 := nl.rlist * nl.rlist
+	n := len(pos)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if top.Excluded(i, j) {
+				continue
+			}
+			if nl.box.MinImage(pos[i], pos[j]).Norm2() <= r2 {
+				nl.pairs = append(nl.pairs, pair{int32(i), int32(j)})
+			}
+		}
+	}
+}
+
+func (nl *neighborList) rebuildCells(pos []vec.V3, top *topology.Topology) {
+	l := nl.box.L
+	nl.nc[0] = int(l.X / nl.rlist)
+	nl.nc[1] = int(l.Y / nl.rlist)
+	nl.nc[2] = int(l.Z / nl.rlist)
+	nl.cellDim = vec.New(l.X/float64(nl.nc[0]), l.Y/float64(nl.nc[1]), l.Z/float64(nl.nc[2]))
+
+	ncells := nl.nc[0] * nl.nc[1] * nl.nc[2]
+	if cap(nl.heads) < ncells {
+		nl.heads = make([]int32, ncells)
+	}
+	nl.heads = nl.heads[:ncells]
+	for i := range nl.heads {
+		nl.heads[i] = -1
+	}
+	if cap(nl.next) < len(pos) {
+		nl.next = make([]int32, len(pos))
+	}
+	nl.next = nl.next[:len(pos)]
+
+	cellOf := func(p vec.V3) int {
+		w := nl.box.Wrap(p)
+		cx := int(w.X / nl.cellDim.X)
+		cy := int(w.Y / nl.cellDim.Y)
+		cz := int(w.Z / nl.cellDim.Z)
+		// Guard the upper edge against rounding.
+		if cx >= nl.nc[0] {
+			cx = nl.nc[0] - 1
+		}
+		if cy >= nl.nc[1] {
+			cy = nl.nc[1] - 1
+		}
+		if cz >= nl.nc[2] {
+			cz = nl.nc[2] - 1
+		}
+		return (cx*nl.nc[1]+cy)*nl.nc[2] + cz
+	}
+	for i, p := range pos {
+		c := cellOf(p)
+		nl.next[i] = nl.heads[c]
+		nl.heads[c] = int32(i)
+	}
+
+	r2 := nl.rlist * nl.rlist
+	// Half-shell stencil: the 13 forward neighbour cells plus self.
+	var stencil [][3]int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx > 0 || (dx == 0 && dy > 0) || (dx == 0 && dy == 0 && dz > 0) {
+					stencil = append(stencil, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+
+	for cx := 0; cx < nl.nc[0]; cx++ {
+		for cy := 0; cy < nl.nc[1]; cy++ {
+			for cz := 0; cz < nl.nc[2]; cz++ {
+				c := (cx*nl.nc[1]+cy)*nl.nc[2] + cz
+				// Pairs within the cell.
+				for i := nl.heads[c]; i >= 0; i = nl.next[i] {
+					for j := nl.next[i]; j >= 0; j = nl.next[j] {
+						nl.tryPair(pos, top, int(i), int(j), r2)
+					}
+				}
+				// Pairs with the half shell.
+				for _, d := range stencil {
+					ox := (cx + d[0] + nl.nc[0]) % nl.nc[0]
+					oy := (cy + d[1] + nl.nc[1]) % nl.nc[1]
+					oz := (cz + d[2] + nl.nc[2]) % nl.nc[2]
+					o := (ox*nl.nc[1]+oy)*nl.nc[2] + oz
+					for i := nl.heads[c]; i >= 0; i = nl.next[i] {
+						for j := nl.heads[o]; j >= 0; j = nl.next[j] {
+							nl.tryPair(pos, top, int(i), int(j), r2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (nl *neighborList) tryPair(pos []vec.V3, top *topology.Topology, i, j int, r2 float64) {
+	if top.Excluded(i, j) {
+		return
+	}
+	if nl.box.MinImage(pos[i], pos[j]).Norm2() <= r2 {
+		if i < j {
+			nl.pairs = append(nl.pairs, pair{int32(i), int32(j)})
+		} else {
+			nl.pairs = append(nl.pairs, pair{int32(j), int32(i)})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"copernicus/internal/vec"
+)
+
+// RadiusOfGyration returns the mass-weighted radius of gyration of the
+// current configuration in nm — the standard compactness observable for the
+// polymer workloads.
+func (s *Sim) RadiusOfGyration() float64 {
+	var com vec.V3
+	m := 0.0
+	for i, p := range s.pos {
+		mi := s.top.Atoms[i].Mass
+		com = com.Add(p.Scale(mi))
+		m += mi
+	}
+	com = com.Scale(1 / m)
+	rg2 := 0.0
+	for i, p := range s.pos {
+		rg2 += s.top.Atoms[i].Mass * p.Sub(com).Norm2()
+	}
+	return math.Sqrt(rg2 / m)
+}
+
+// MSDTracker accumulates mean-squared displacement over unwrapped
+// coordinates, so periodic wrapping does not truncate diffusion paths. The
+// self-diffusion coefficient follows from the Einstein relation
+// D = MSD/(6t).
+type MSDTracker struct {
+	box      vec.Box
+	origin   []vec.V3 // unwrapped start positions
+	prev     []vec.V3 // previous wrapped positions
+	unwrap   []vec.V3 // accumulated unwrapped positions
+	times    []float64
+	msd      []float64
+	timeZero float64
+}
+
+// NewMSDTracker starts tracking from the simulation's current state.
+func NewMSDTracker(s *Sim) *MSDTracker {
+	pos := s.Positions()
+	t := &MSDTracker{
+		box:      s.Box(),
+		origin:   append([]vec.V3(nil), pos...),
+		prev:     append([]vec.V3(nil), pos...),
+		unwrap:   append([]vec.V3(nil), pos...),
+		timeZero: s.Time(),
+	}
+	return t
+}
+
+// Sample records the MSD at the simulation's current time. Calls must be
+// frequent enough that no particle moves more than half a box length
+// between samples (guaranteed in practice by any reasonable interval).
+func (t *MSDTracker) Sample(s *Sim) {
+	pos := s.Positions()
+	var acc float64
+	for i, p := range pos {
+		// Minimum-image displacement since the previous sample extends the
+		// unwrapped path.
+		d := t.box.MinImage(p, t.prev[i])
+		t.unwrap[i] = t.unwrap[i].Add(d)
+		t.prev[i] = p
+		acc += t.unwrap[i].Sub(t.origin[i]).Norm2()
+	}
+	t.times = append(t.times, s.Time()-t.timeZero)
+	t.msd = append(t.msd, acc/float64(len(pos)))
+}
+
+// Series returns the sampled (time, MSD) pairs in (ps, nm²).
+func (t *MSDTracker) Series() (times, msd []float64) { return t.times, t.msd }
+
+// DiffusionCoefficient fits D from the Einstein relation over the second
+// half of the samples (the first half is ballistic/transient), in nm²/ps.
+// It returns an error with fewer than four samples.
+func (t *MSDTracker) DiffusionCoefficient() (float64, error) {
+	n := len(t.times)
+	if n < 4 {
+		return 0, fmt.Errorf("md: need at least 4 MSD samples, have %d", n)
+	}
+	// Least-squares slope through the second-half points, constrained
+	// through the local mean rather than the origin.
+	lo := n / 2
+	var st, sm, stt, stm float64
+	cnt := float64(n - lo)
+	for i := lo; i < n; i++ {
+		st += t.times[i]
+		sm += t.msd[i]
+		stt += t.times[i] * t.times[i]
+		stm += t.times[i] * t.msd[i]
+	}
+	den := stt - st*st/cnt
+	if den <= 0 {
+		return 0, fmt.Errorf("md: degenerate time window for diffusion fit")
+	}
+	slope := (stm - st*sm/cnt) / den
+	return slope / 6, nil
+}

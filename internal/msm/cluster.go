@@ -1,0 +1,138 @@
+// Package msm implements Markov State Model construction and analysis: the
+// kinetic clustering, transition-matrix estimation, ergodic trimming,
+// stationary analysis, implied-timescale validation and adaptive-sampling
+// weighting described in §3.2 of the paper.
+//
+// The pipeline is: cluster conformations into microstates (k-centers),
+// discretise trajectories, count transitions at a lag time, estimate a
+// row-stochastic transition matrix, restrict it to the largest strongly
+// connected (ergodic) subset, and analyse — stationary distribution for the
+// blind native-state prediction, Chapman–Kolmogorov propagation for the
+// Fig 4 population evolution, and per-state uncertainty weights for
+// adaptive spawning.
+package msm
+
+import (
+	"fmt"
+	"math"
+
+	"copernicus/internal/rng"
+)
+
+// Clustering is a set of cluster centers in feature space with a Euclidean
+// assignment rule. Centers are immutable once built.
+type Clustering struct {
+	Centers [][]float64
+	// CenterSource[i] identifies where center i came from as an index into
+	// the point set passed to KCenters — the control plane uses it to map a
+	// cluster back to a restartable conformation.
+	CenterSource []int
+}
+
+// KCenters builds k cluster centers from points with the greedy k-centers
+// algorithm: start from a seed point, then repeatedly promote the point
+// farthest from all existing centers. This is the standard MSM geometric
+// clustering (Bowman et al.); it bounds the cluster radius within a factor
+// of two of optimal and is deterministic given the seed.
+//
+// If k >= len(points), every distinct point becomes its own center.
+func KCenters(points [][]float64, k int, seed uint64) (*Clustering, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("msm: cannot cluster zero points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("msm: cluster count must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("msm: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+
+	r := rng.New(seed)
+	first := r.Intn(n)
+	c := &Clustering{
+		Centers:      [][]float64{append([]float64(nil), points[first]...)},
+		CenterSource: []int{first},
+	}
+	// dist2[i] is the squared distance from point i to its nearest center.
+	dist2 := make([]float64, n)
+	for i := range dist2 {
+		dist2[i] = sqDist(points[i], points[first])
+	}
+	for len(c.Centers) < k {
+		// Farthest point from all current centers.
+		best, bestD := -1, -1.0
+		for i, d := range dist2 {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD == 0 {
+			break // every remaining point duplicates a center
+		}
+		c.Centers = append(c.Centers, append([]float64(nil), points[best]...))
+		c.CenterSource = append(c.CenterSource, best)
+		for i := range dist2 {
+			if d := sqDist(points[i], points[best]); d < dist2[i] {
+				dist2[i] = d
+			}
+		}
+	}
+	return c, nil
+}
+
+// K returns the number of clusters.
+func (c *Clustering) K() int { return len(c.Centers) }
+
+// Assign returns the index of the nearest center to p.
+func (c *Clustering) Assign(p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, ctr := range c.Centers {
+		if d := sqDist(p, ctr); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// AssignAll discretises a trajectory of conformations into state indices.
+func (c *Clustering) AssignAll(points [][]float64) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = c.Assign(p)
+	}
+	return out
+}
+
+// MaxRadius returns the largest distance from any of the given points to its
+// assigned center — the k-centers quality metric.
+func (c *Clustering) MaxRadius(points [][]float64) float64 {
+	worst := 0.0
+	for _, p := range points {
+		d := math.Inf(1)
+		for _, ctr := range c.Centers {
+			if d2 := sqDist(p, ctr); d2 < d {
+				d = d2
+			}
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

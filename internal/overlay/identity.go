@@ -1,0 +1,191 @@
+// Package overlay implements the Copernicus server overlay network (§2.2 of
+// the paper): authenticated nodes connected in a small, mostly static
+// peer-to-peer topology, carrying request/response traffic with TTL-limited
+// forwarding so a request can reach either a specific server or "the first
+// server with available commands".
+//
+// Nodes are identified by the hash of an Ed25519 public key. Trust is
+// established by explicit key exchange into a TrustStore, mirroring the
+// paper's setup where every link is created deliberately by the operators.
+// Two transports are provided: a TLS 1.3 transport for real deployments and
+// an in-memory transport with byte metering and latency injection for tests
+// and the Fig 6 bandwidth measurements.
+package overlay
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/hex"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"copernicus/internal/rng"
+)
+
+// Identity is a node's keypair and derived ID.
+type Identity struct {
+	ID   string
+	Pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NodeID derives the printable node ID from a public key: the first 16 hex
+// characters of its SHA-256.
+func NodeID(pub ed25519.PublicKey) string {
+	h := sha256.Sum256(pub)
+	return hex.EncodeToString(h[:])[:16]
+}
+
+// NewIdentity generates a fresh Ed25519 identity from the system's entropy.
+func NewIdentity() (*Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: generating identity: %w", err)
+	}
+	return &Identity{ID: NodeID(pub), Pub: pub, priv: priv}, nil
+}
+
+// NewIdentityFromSeed derives a deterministic identity from a 64-bit seed —
+// used by tests and simulations that must be reproducible.
+func NewIdentityFromSeed(seed uint64) *Identity {
+	r := rng.New(seed)
+	seedBytes := make([]byte, ed25519.SeedSize)
+	for i := 0; i < len(seedBytes); i += 8 {
+		v := r.Uint64()
+		for k := 0; k < 8 && i+k < len(seedBytes); k++ {
+			seedBytes[i+k] = byte(v >> (8 * k))
+		}
+	}
+	priv := ed25519.NewKeyFromSeed(seedBytes)
+	pub := priv.Public().(ed25519.PublicKey)
+	return &Identity{ID: NodeID(pub), Pub: pub, priv: priv}
+}
+
+// Sign signs a message with the node key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Verify checks a signature against a public key.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, msg, sig)
+}
+
+// TrustStore is the set of public keys a node accepts connections from. An
+// empty store accepts everyone (bootstrap/testing mode); once any key is
+// added, only trusted peers may connect — the paper's explicit key-exchange
+// model. TrustStore is safe for concurrent use.
+type TrustStore struct {
+	mu   sync.RWMutex
+	keys map[string]ed25519.PublicKey // node ID → key
+}
+
+// NewTrustStore returns an empty (allow-all) trust store.
+func NewTrustStore() *TrustStore {
+	return &TrustStore{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// Add registers a trusted public key and returns its node ID.
+func (t *TrustStore) Add(pub ed25519.PublicKey) string {
+	id := NodeID(pub)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keys[id] = append(ed25519.PublicKey(nil), pub...)
+	return id
+}
+
+// Remove deletes a key by node ID.
+func (t *TrustStore) Remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.keys, id)
+}
+
+// Trusted reports whether the key is acceptable: always true for an empty
+// store, otherwise the key must be registered under its own ID.
+func (t *TrustStore) Trusted(pub ed25519.PublicKey) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.keys) == 0 {
+		return true
+	}
+	known, ok := t.keys[NodeID(pub)]
+	return ok && known.Equal(pub)
+}
+
+// Len returns the number of trusted keys.
+func (t *TrustStore) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.keys)
+}
+
+// Certificate builds a self-signed X.509 certificate for TLS transport use,
+// embedding the node's Ed25519 key. Peers validate the embedded key against
+// their trust stores rather than a CA chain, exactly as the paper's overlay
+// exchanges raw keys.
+func (id *Identity) Certificate() (tls.Certificate, error) {
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 120))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("overlay: certificate serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: id.ID},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, id.Pub, id.priv)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("overlay: creating certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalPKCS8PrivateKey(id.priv)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("overlay: marshalling key: %w", err)
+	}
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: keyDER})
+	return tls.X509KeyPair(certPEM, keyPEM)
+}
+
+// tlsConfig builds the mutual-TLS configuration: both sides present their
+// self-signed node certificates and verify the embedded Ed25519 key against
+// the trust store.
+func tlsConfig(id *Identity, trust *TrustStore) (*tls.Config, error) {
+	cert, err := id.Certificate()
+	if err != nil {
+		return nil, err
+	}
+	verify := func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		if len(rawCerts) == 0 {
+			return fmt.Errorf("overlay: peer presented no certificate")
+		}
+		leaf, err := x509.ParseCertificate(rawCerts[0])
+		if err != nil {
+			return fmt.Errorf("overlay: parsing peer certificate: %w", err)
+		}
+		pub, ok := leaf.PublicKey.(ed25519.PublicKey)
+		if !ok {
+			return fmt.Errorf("overlay: peer certificate is not ed25519")
+		}
+		if !trust.Trusted(pub) {
+			return fmt.Errorf("overlay: peer key %s not in trust store", NodeID(pub))
+		}
+		return nil
+	}
+	return &tls.Config{
+		MinVersion:   tls.VersionTLS13,
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   tls.RequireAnyClientCert,
+		// Verification is key-based, not CA-based.
+		InsecureSkipVerify:    true,
+		VerifyPeerCertificate: verify,
+	}, nil
+}

@@ -1,0 +1,483 @@
+package overlay
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copernicus/internal/wire"
+)
+
+// ErrNotHandled is returned by a Handler to decline a request addressed to
+// "any server" (empty To); the node then forwards it deeper into the
+// overlay — this implements the paper's routing "to the first server with
+// available commands".
+var ErrNotHandled = errors.New("overlay: request not handled here")
+
+// Handler processes a request payload from a peer and returns the reply
+// payload. Returning ErrNotHandled forwards the request instead (only
+// meaningful for anycast requests).
+type Handler func(from string, payload []byte) ([]byte, error)
+
+// DefaultTTL bounds forwarding hops; overlays in the paper are a handful of
+// servers, so a small TTL suffices.
+const DefaultTTL = 8
+
+// DefaultRequestTimeout is the per-request deadline used when none is given.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Node is one overlay participant: it listens for peers, dials others, and
+// routes envelopes. All servers run identical node code; their role is
+// determined by the handlers registered on top (the paper's symmetric
+// architecture).
+type Node struct {
+	id    *Identity
+	trust *TrustStore
+	tr    Transport
+
+	mu       sync.RWMutex
+	peers    map[string]*peerLink // node ID → link
+	handlers map[wire.MsgType]Handler
+	pending  map[uint64]chan *wire.Envelope
+	closed   bool
+
+	listeners []net.Listener
+	reqID     atomic.Uint64
+	seen      *seenCache
+	wg        sync.WaitGroup
+
+	// Logf receives diagnostic messages; defaults to a silent logger.
+	Logf func(format string, args ...any)
+}
+
+type peerLink struct {
+	id   string
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (p *peerLink) send(env *wire.Envelope) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return wire.WriteEnvelope(p.conn, env)
+}
+
+// NewNode creates a node with the given identity, trust store and transport.
+func NewNode(id *Identity, trust *TrustStore, tr Transport) *Node {
+	n := &Node{
+		id:       id,
+		trust:    trust,
+		tr:       tr,
+		peers:    make(map[string]*peerLink),
+		handlers: make(map[wire.MsgType]Handler),
+		pending:  make(map[uint64]chan *wire.Envelope),
+		seen:     newSeenCache(4096),
+		Logf:     func(string, ...any) {},
+	}
+	n.reqID.Store(uint64(time.Now().UnixNano()) << 20)
+	return n
+}
+
+// ID returns the node's overlay ID.
+func (n *Node) ID() string { return n.id.ID }
+
+// Identity returns the node's identity (for key exchange).
+func (n *Node) Identity() *Identity { return n.id }
+
+// Trust returns the node's trust store.
+func (n *Node) Trust() *TrustStore { return n.trust }
+
+// Handle registers the handler for a message type. Must be called before
+// traffic arrives; handlers run on the connection's reader goroutine, so
+// long work should be dispatched internally.
+func (n *Node) Handle(t wire.MsgType, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[t] = h
+}
+
+// Listen starts accepting peer connections on addr.
+func (n *Node) Listen(addr string) error {
+	l, err := n.tr.Listen(addr)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.listeners = append(n.listeners, l)
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				if err := n.handleInbound(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					n.Logf("overlay %s: inbound connection: %v", n.id.ID, err)
+				}
+			}()
+		}
+	}()
+	return nil
+}
+
+// handshake exchanges identity proofs over a fresh connection: each side
+// sends its public key and a signature over a transcript tag, and checks the
+// peer against the trust store.
+func (n *Node) handshake(conn net.Conn, initiator bool) (string, error) {
+	const tag = "copernicus-overlay-hello-v1"
+	hello := &wire.Envelope{
+		Version: wire.ProtocolVersion,
+		Type:    "hello",
+		From:    n.id.ID,
+		Payload: append(append([]byte(nil), n.id.Pub...), n.id.Sign([]byte(tag))...),
+	}
+	send := func() error { return wire.WriteEnvelope(conn, hello) }
+	recv := func() (string, error) {
+		if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			return "", err
+		}
+		defer conn.SetReadDeadline(time.Time{})
+		env, err := wire.ReadEnvelope(conn)
+		if err != nil {
+			return "", fmt.Errorf("overlay: reading hello: %w", err)
+		}
+		if env.Type != "hello" || len(env.Payload) < ed25519.PublicKeySize {
+			return "", fmt.Errorf("overlay: malformed hello from %s", env.From)
+		}
+		pub := ed25519.PublicKey(env.Payload[:ed25519.PublicKeySize])
+		sig := env.Payload[ed25519.PublicKeySize:]
+		if NodeID(pub) != env.From {
+			return "", fmt.Errorf("overlay: hello ID %s does not match key", env.From)
+		}
+		if !Verify(pub, []byte(tag), sig) {
+			return "", fmt.Errorf("overlay: bad hello signature from %s", env.From)
+		}
+		if !n.trust.Trusted(pub) {
+			return "", fmt.Errorf("overlay: peer %s not trusted", env.From)
+		}
+		return env.From, nil
+	}
+	if initiator {
+		if err := send(); err != nil {
+			return "", err
+		}
+		return recv()
+	}
+	peer, err := recv()
+	if err != nil {
+		return "", err
+	}
+	return peer, send()
+}
+
+func (n *Node) handleInbound(conn net.Conn) error {
+	peerID, err := n.handshake(conn, false)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	link, err := n.addPeer(peerID, conn)
+	if err != nil {
+		return err
+	}
+	return n.runPeer(link)
+}
+
+// ConnectPeer dials addr, performs the handshake, and adds the peer link.
+// It returns the peer's node ID. The link is usable as soon as ConnectPeer
+// returns.
+func (n *Node) ConnectPeer(addr string) (string, error) {
+	conn, err := n.tr.Dial(addr)
+	if err != nil {
+		return "", fmt.Errorf("overlay: dialing %s: %w", addr, err)
+	}
+	peerID, err := n.handshake(conn, true)
+	if err != nil {
+		conn.Close()
+		return "", err
+	}
+	link, err := n.addPeer(peerID, conn)
+	if err != nil {
+		return "", err
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := n.runPeer(link); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			n.Logf("overlay %s: peer %s: %v", n.id.ID, peerID, err)
+		}
+	}()
+	return peerID, nil
+}
+
+// addPeer registers a completed connection in the peer table, replacing any
+// stale link with the same ID.
+func (n *Node) addPeer(peerID string, conn net.Conn) (*peerLink, error) {
+	link := &peerLink{id: peerID, conn: conn}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	if old, ok := n.peers[peerID]; ok {
+		old.conn.Close()
+	}
+	n.peers[peerID] = link
+	return link, nil
+}
+
+// runPeer pumps envelopes until the connection dies, then unregisters it.
+func (n *Node) runPeer(link *peerLink) error {
+	defer func() {
+		link.conn.Close()
+		n.mu.Lock()
+		if n.peers[link.id] == link {
+			delete(n.peers, link.id)
+		}
+		n.mu.Unlock()
+	}()
+	for {
+		env, err := wire.ReadEnvelope(link.conn)
+		if err != nil {
+			return err
+		}
+		n.route(env, link.id)
+	}
+}
+
+// Peers returns the connected peer IDs.
+func (n *Node) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close shuts the node down: all listeners and peer links are closed.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	ls := n.listeners
+	links := make([]*peerLink, 0, len(n.peers))
+	for _, p := range n.peers {
+		links = append(links, p)
+	}
+	pend := n.pending
+	n.pending = make(map[uint64]chan *wire.Envelope)
+	n.mu.Unlock()
+
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, p := range links {
+		p.conn.Close()
+	}
+	for _, ch := range pend {
+		close(ch)
+	}
+	n.wg.Wait()
+}
+
+// Request sends a request and waits for the reply. An empty `to` addresses
+// the first server in the overlay whose handler accepts the message type
+// (anycast); otherwise the envelope is routed to the named node.
+func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	id := n.reqID.Add(1)
+	ch := make(chan *wire.Envelope, 1)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	n.pending[id] = ch
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.pending, id)
+		n.mu.Unlock()
+	}()
+
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      t,
+		From:      n.id.ID,
+		To:        to,
+		RequestID: id,
+		TTL:       DefaultTTL,
+		Payload:   payload,
+	}
+	n.route(env, "")
+
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return nil, net.ErrClosed
+		}
+		if reply.Err != "" {
+			return nil, fmt.Errorf("overlay: remote error: %s", reply.Err)
+		}
+		return reply.Payload, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("overlay: request %v to %q timed out after %v", t, to, timeout)
+	}
+}
+
+// route processes an envelope arriving from origin ("" = locally created).
+func (n *Node) route(env *wire.Envelope, origin string) {
+	if !n.seen.firstTime(env.From, env.RequestID, env.IsReply) {
+		return
+	}
+
+	if env.IsReply {
+		if env.To == n.id.ID {
+			n.mu.RLock()
+			ch := n.pending[env.RequestID]
+			n.mu.RUnlock()
+			if ch != nil {
+				select {
+				case ch <- env:
+				default:
+				}
+			}
+			return
+		}
+		n.forward(env, origin)
+		return
+	}
+
+	// Request: try locally when addressed to us or to anyone.
+	if env.To == n.id.ID || env.To == "" {
+		n.mu.RLock()
+		h := n.handlers[env.Type]
+		n.mu.RUnlock()
+		if h != nil {
+			reply, err := h(env.From, env.Payload)
+			if !errors.Is(err, ErrNotHandled) {
+				n.reply(env, reply, err, origin)
+				return
+			}
+		} else if env.To == n.id.ID {
+			n.reply(env, nil, fmt.Errorf("no handler for %q", env.Type), origin)
+			return
+		}
+		// Anycast fall-through: not handled here, forward.
+	}
+	n.forward(env, origin)
+}
+
+// reply sends a response back toward the requester.
+func (n *Node) reply(req *wire.Envelope, payload []byte, err error, origin string) {
+	rep := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      req.Type,
+		From:      n.id.ID,
+		To:        req.From,
+		RequestID: req.RequestID,
+		IsReply:   true,
+		TTL:       DefaultTTL,
+		Payload:   payload,
+	}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	if req.From == n.id.ID {
+		// Local request answered locally.
+		n.route(rep, "")
+		return
+	}
+	// Prefer the link the request came in on; fall back to flooding.
+	n.mu.RLock()
+	link := n.peers[origin]
+	n.mu.RUnlock()
+	if link != nil {
+		if sendErr := link.send(rep); sendErr == nil {
+			return
+		}
+	}
+	n.forward(rep, "")
+}
+
+// forward floods an envelope to all peers except the origin, decrementing
+// the TTL.
+func (n *Node) forward(env *wire.Envelope, origin string) {
+	if env.TTL <= 0 {
+		return
+	}
+	out := *env
+	out.TTL = env.TTL - 1
+	n.mu.RLock()
+	links := make([]*peerLink, 0, len(n.peers))
+	for id, p := range n.peers {
+		if id != origin {
+			links = append(links, p)
+		}
+	}
+	n.mu.RUnlock()
+	for _, p := range links {
+		if err := p.send(&out); err != nil {
+			n.Logf("overlay %s: forwarding to %s: %v", n.id.ID, p.id, err)
+		}
+	}
+}
+
+// seenCache deduplicates flooded envelopes with a bounded FIFO set.
+type seenCache struct {
+	mu    sync.Mutex
+	limit int
+	order []string
+	set   map[string]bool
+}
+
+func newSeenCache(limit int) *seenCache {
+	return &seenCache{limit: limit, set: make(map[string]bool, limit)}
+}
+
+// firstTime records the key and reports whether it was new.
+func (s *seenCache) firstTime(from string, reqID uint64, isReply bool) bool {
+	key := fmt.Sprintf("%s/%d/%t", from, reqID, isReply)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.set[key] {
+		return false
+	}
+	s.set[key] = true
+	s.order = append(s.order, key)
+	if len(s.order) > s.limit {
+		delete(s.set, s.order[0])
+		s.order = s.order[1:]
+	}
+	return true
+}
+
+// ListenAddrs returns the bound addresses of all active listeners (useful
+// with ":0" ephemeral ports).
+func (n *Node) ListenAddrs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		out = append(out, l.Addr().String())
+	}
+	return out
+}

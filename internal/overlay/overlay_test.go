@@ -1,0 +1,448 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"copernicus/internal/wire"
+)
+
+func TestIdentityFromSeedDeterministic(t *testing.T) {
+	a := NewIdentityFromSeed(7)
+	b := NewIdentityFromSeed(7)
+	if a.ID != b.ID || !a.Pub.Equal(b.Pub) {
+		t.Error("seeded identities differ")
+	}
+	c := NewIdentityFromSeed(8)
+	if c.ID == a.ID {
+		t.Error("different seeds produced same identity")
+	}
+	if len(a.ID) != 16 {
+		t.Errorf("node ID length = %d", len(a.ID))
+	}
+}
+
+func TestNewIdentityUnique(t *testing.T) {
+	a, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Error("two fresh identities collide")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id := NewIdentityFromSeed(1)
+	msg := []byte("hello")
+	sig := id.Sign(msg)
+	if !Verify(id.Pub, msg, sig) {
+		t.Error("valid signature rejected")
+	}
+	if Verify(id.Pub, []byte("tampered"), sig) {
+		t.Error("tampered message accepted")
+	}
+	other := NewIdentityFromSeed(2)
+	if Verify(other.Pub, msg, sig) {
+		t.Error("wrong key accepted")
+	}
+	if Verify(nil, msg, sig) {
+		t.Error("nil key accepted")
+	}
+}
+
+func TestTrustStore(t *testing.T) {
+	ts := NewTrustStore()
+	a := NewIdentityFromSeed(1)
+	b := NewIdentityFromSeed(2)
+	// Empty store trusts everyone.
+	if !ts.Trusted(a.Pub) {
+		t.Error("empty store should trust all")
+	}
+	id := ts.Add(a.Pub)
+	if id != a.ID {
+		t.Errorf("Add returned %s, want %s", id, a.ID)
+	}
+	if !ts.Trusted(a.Pub) {
+		t.Error("added key not trusted")
+	}
+	if ts.Trusted(b.Pub) {
+		t.Error("unknown key trusted once store is non-empty")
+	}
+	if ts.Len() != 1 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	ts.Remove(a.ID)
+	// Store empty again → allow-all.
+	if !ts.Trusted(b.Pub) {
+		t.Error("store should be allow-all after removal")
+	}
+}
+
+// twoNodes builds a connected pair over a fresh MemNetwork.
+func twoNodes(t *testing.T) (*Node, *Node, *MemNetwork) {
+	t.Helper()
+	net := NewMemNetwork()
+	a := NewNode(NewIdentityFromSeed(1), NewTrustStore(), net.Transport())
+	b := NewNode(NewIdentityFromSeed(2), NewTrustStore(), net.Transport())
+	if err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	peer, err := b.ConnectPeer("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != a.ID() {
+		t.Fatalf("ConnectPeer returned %s, want %s", peer, a.ID())
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, net
+}
+
+func TestRequestResponseDirect(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	a.Handle(wire.MsgPing, func(from string, payload []byte) ([]byte, error) {
+		if from != b.ID() {
+			t.Errorf("handler saw from=%s", from)
+		}
+		return append([]byte("pong:"), payload...), nil
+	})
+	reply, err := b.Request(a.ID(), wire.MsgPing, []byte("x"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "pong:x" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestRequestErrorPropagates(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	a.Handle(wire.MsgPing, func(string, []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRequestNoHandler(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	_, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, b, _ := twoNodes(t)
+	// Address a node that does not exist.
+	_, err := b.Request("ffffffffffffffff", wire.MsgPing, nil, 100*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// chain builds a linear overlay a—b—c, the Fig 1 shape where b is a gateway.
+func chain(t *testing.T) (a, b, c *Node) {
+	t.Helper()
+	net := NewMemNetwork()
+	a = NewNode(NewIdentityFromSeed(1), NewTrustStore(), net.Transport())
+	b = NewNode(NewIdentityFromSeed(2), NewTrustStore(), net.Transport())
+	c = NewNode(NewIdentityFromSeed(3), NewTrustStore(), net.Transport())
+	if err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ConnectPeer("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnectPeer("b"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close(); c.Close() })
+	return a, b, c
+}
+
+func TestMultiHopRouting(t *testing.T) {
+	a, _, c := chain(t)
+	a.Handle(wire.MsgPing, func(from string, payload []byte) ([]byte, error) {
+		return []byte("from-a"), nil
+	})
+	// c is not directly connected to a; the request must relay through b.
+	reply, err := c.Request(a.ID(), wire.MsgPing, nil, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "from-a" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestAnycastFindsFirstWillingServer(t *testing.T) {
+	a, b, c := chain(t)
+	// b declines (no work available), a accepts: the request should walk
+	// past b to a — the paper's "first server with available commands".
+	b.Handle(wire.MsgAnnounce, func(string, []byte) ([]byte, error) {
+		return nil, ErrNotHandled
+	})
+	a.Handle(wire.MsgAnnounce, func(string, []byte) ([]byte, error) {
+		return []byte("work-from-a"), nil
+	})
+	reply, err := c.Request("", wire.MsgAnnounce, []byte("resources"), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "work-from-a" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestAnycastPrefersNearServer(t *testing.T) {
+	_, b, c := chain(t)
+	var aCount, bCount atomic.Int32
+	b.Handle(wire.MsgAnnounce, func(string, []byte) ([]byte, error) {
+		bCount.Add(1)
+		return []byte("from-b"), nil
+	})
+	reply, err := c.Request("", wire.MsgAnnounce, nil, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "from-b" || bCount.Load() != 1 || aCount.Load() != 0 {
+		t.Errorf("reply=%q aCount=%d bCount=%d", reply, aCount.Load(), bCount.Load())
+	}
+}
+
+func TestUntrustedPeerRejected(t *testing.T) {
+	net := NewMemNetwork()
+	aTrust := NewTrustStore()
+	a := NewNode(NewIdentityFromSeed(1), aTrust, net.Transport())
+	b := NewNode(NewIdentityFromSeed(2), NewTrustStore(), net.Transport())
+	c := NewNode(NewIdentityFromSeed(3), NewTrustStore(), net.Transport())
+	// a only trusts b.
+	aTrust.Add(b.Identity().Pub)
+	if err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	if _, err := b.ConnectPeer("a"); err != nil {
+		t.Fatalf("trusted peer rejected: %v", err)
+	}
+	if _, err := c.ConnectPeer("a"); err == nil {
+		t.Fatal("untrusted peer accepted")
+	}
+}
+
+func TestMutualTrustExchange(t *testing.T) {
+	// Both sides restrict trust; connection only works after exchanging keys
+	// both ways — the paper's key-exchange requirement.
+	net := NewMemNetwork()
+	aT, bT := NewTrustStore(), NewTrustStore()
+	a := NewNode(NewIdentityFromSeed(1), aT, net.Transport())
+	b := NewNode(NewIdentityFromSeed(2), bT, net.Transport())
+	// Poison stores so they are non-empty but lack the peer.
+	aT.Add(NewIdentityFromSeed(99).Pub)
+	bT.Add(NewIdentityFromSeed(98).Pub)
+	if err := a.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	if _, err := b.ConnectPeer("a"); err == nil {
+		t.Fatal("connection succeeded without key exchange")
+	}
+	// Exchange keys.
+	aT.Add(b.Identity().Pub)
+	bT.Add(a.Identity().Pub)
+	if _, err := b.ConnectPeer("a"); err != nil {
+		t.Fatalf("connection failed after key exchange: %v", err)
+	}
+}
+
+func TestPeersAndClose(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	waitFor(t, func() bool { return len(a.Peers()) == 1 })
+	if got := b.Peers(); len(got) != 1 || got[0] != a.ID() {
+		t.Errorf("b.Peers() = %v", got)
+	}
+	b.Close()
+	waitFor(t, func() bool { return len(a.Peers()) == 0 })
+	// Requests after close fail fast.
+	if _, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second); err == nil {
+		t.Error("request after close should fail")
+	}
+	// Double close is safe.
+	b.Close()
+}
+
+func TestMemNetworkMetering(t *testing.T) {
+	a, b, net := twoNodes(t)
+	before := net.BytesSent()
+	a.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) { return p, nil })
+	payload := make([]byte, 10000)
+	if _, err := b.Request(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	moved := net.BytesSent() - before
+	// Request + reply both carry the payload.
+	if moved < 20000 {
+		t.Errorf("metered only %d bytes for a 2x10kB exchange", moved)
+	}
+	if net.Conns() < 1 {
+		t.Error("connection count not tracked")
+	}
+}
+
+func TestMemNetworkAddressing(t *testing.T) {
+	net := NewMemNetwork()
+	tr := net.Transport()
+	if _, err := tr.Dial("nowhere"); err == nil {
+		t.Error("dialing unknown address should fail")
+	}
+	l, err := tr.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("x"); err == nil {
+		t.Error("double listen should fail")
+	}
+	if l.Addr().String() != "x" || l.Addr().Network() != "mem" {
+		t.Errorf("Addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+	l.Close()
+	if _, err := tr.Listen("x"); err != nil {
+		t.Errorf("relisten after close failed: %v", err)
+	}
+}
+
+func TestTLSTransportEndToEnd(t *testing.T) {
+	aID := NewIdentityFromSeed(1)
+	bID := NewIdentityFromSeed(2)
+	aTrust, bTrust := NewTrustStore(), NewTrustStore()
+	aTrust.Add(bID.Pub)
+	bTrust.Add(aID.Pub)
+	aTr, err := NewTLSTransport(aID, aTrust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTr, err := NewTLSTransport(bID, bTrust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewNode(aID, aTrust, aTr)
+	b := NewNode(bID, bTrust, bTr)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := a.listeners[0].Addr().String()
+	a.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) {
+		return append([]byte("tls:"), p...), nil
+	})
+	if _, err := b.ConnectPeer(addr); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := b.Request(a.ID(), wire.MsgPing, []byte("secure"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "tls:secure" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestTLSRejectsUntrusted(t *testing.T) {
+	aID := NewIdentityFromSeed(1)
+	cID := NewIdentityFromSeed(3)
+	aTrust := NewTrustStore()
+	aTrust.Add(NewIdentityFromSeed(2).Pub) // trusts someone else
+	cTrust := NewTrustStore()
+	aTr, err := NewTLSTransport(aID, aTrust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTr, err := NewTLSTransport(cID, cTrust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewNode(aID, aTrust, aTr)
+	c := NewNode(cID, cTrust, cTr)
+	defer a.Close()
+	defer c.Close()
+	if err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := a.listeners[0].Addr().String()
+	if _, err := c.ConnectPeer(addr); err == nil {
+		t.Fatal("untrusted TLS peer accepted")
+	}
+}
+
+func TestSeenCacheEviction(t *testing.T) {
+	s := newSeenCache(3)
+	for i := 0; i < 5; i++ {
+		if !s.firstTime("a", uint64(i), false) {
+			t.Fatalf("fresh key %d reported seen", i)
+		}
+	}
+	if s.firstTime("a", 4, false) {
+		t.Error("recent key reported fresh")
+	}
+	// Key 0 was evicted → fresh again.
+	if !s.firstTime("a", 0, false) {
+		t.Error("evicted key still reported seen")
+	}
+	// Replies and requests are distinct.
+	if !s.firstTime("a", 4, true) {
+		t.Error("reply flag should distinguish keys")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func BenchmarkRequestRoundTripMem(b *testing.B) {
+	net := NewMemNetwork()
+	a := NewNode(NewIdentityFromSeed(1), NewTrustStore(), net.Transport())
+	c := NewNode(NewIdentityFromSeed(2), NewTrustStore(), net.Transport())
+	defer a.Close()
+	defer c.Close()
+	if err := a.Listen("a"); err != nil {
+		b.Fatal(err)
+	}
+	a.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) { return p, nil })
+	if _, err := c.ConnectPeer("a"); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(fmt.Sprintf("%0128d", 1)) // ~heartbeat-sized
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Request(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package overlay
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport abstracts the byte-stream layer beneath the overlay protocol so
+// nodes run identically over real TLS/TCP and over in-process pipes.
+type Transport interface {
+	// Listen starts accepting connections on addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial opens a connection to addr.
+	Dial(addr string) (net.Conn, error)
+	// Name identifies the transport in logs.
+	Name() string
+}
+
+// --- TLS transport ---
+
+// TLSTransport carries overlay traffic over mutually-authenticated TLS 1.3,
+// the production transport corresponding to the paper's SSL links.
+type TLSTransport struct {
+	cfg *tls.Config
+}
+
+// NewTLSTransport builds a transport for the given identity and trust store.
+func NewTLSTransport(id *Identity, trust *TrustStore) (*TLSTransport, error) {
+	cfg, err := tlsConfig(id, trust)
+	if err != nil {
+		return nil, err
+	}
+	return &TLSTransport{cfg: cfg}, nil
+}
+
+// Listen implements Transport.
+func (t *TLSTransport) Listen(addr string) (net.Listener, error) {
+	return tls.Listen("tcp", addr, t.cfg)
+}
+
+// Dial implements Transport.
+func (t *TLSTransport) Dial(addr string) (net.Conn, error) {
+	d := &net.Dialer{Timeout: 10 * time.Second}
+	return tls.DialWithDialer(d, "tcp", addr, t.cfg)
+}
+
+// Name implements Transport.
+func (t *TLSTransport) Name() string { return "tls" }
+
+// --- in-memory transport ---
+
+// MemNetwork is a process-local network: a registry of listeners addressable
+// by name, with per-connection latency injection and global byte counters.
+// One MemNetwork instance represents one isolated "internet"; tests create
+// their own.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+
+	// Latency is the one-way delay added to every Write (simulating the
+	// high-latency links between clusters in Fig 1); zero disables it.
+	Latency time.Duration
+
+	bytesSent atomic.Int64
+	conns     atomic.Int64
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// BytesSent returns the total payload bytes written through this network —
+// the measurement behind the ensemble-level rows of Fig 6/Fig 9.
+func (m *MemNetwork) BytesSent() int64 { return m.bytesSent.Load() }
+
+// Conns returns the number of connections opened.
+func (m *MemNetwork) Conns() int64 { return m.conns.Load() }
+
+// Transport returns a Transport view of the network. All transports from
+// the same MemNetwork share one address space.
+func (m *MemNetwork) Transport() Transport { return &memTransport{net: m} }
+
+type memTransport struct{ net *MemNetwork }
+
+func (t *memTransport) Name() string { return "mem" }
+
+func (t *memTransport) Listen(addr string) (net.Listener, error) {
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	if _, exists := t.net.listeners[addr]; exists {
+		return nil, fmt.Errorf("overlay: address %q already in use", addr)
+	}
+	l := &memListener{
+		net:    t.net,
+		addr:   addr,
+		accept: make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	t.net.listeners[addr] = l
+	return l, nil
+}
+
+func (t *memTransport) Dial(addr string) (net.Conn, error) {
+	t.net.mu.Lock()
+	l, ok := t.net.listeners[addr]
+	t.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("overlay: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	mc := &meteredConn{Conn: client, net: t.net}
+	ms := &meteredConn{Conn: server, net: t.net}
+	select {
+	case l.accept <- ms:
+		t.net.conns.Add(1)
+		return mc, nil
+	case <-l.done:
+		return nil, fmt.Errorf("overlay: listener at %q closed", addr)
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("overlay: dial %q timed out (accept queue full)", addr)
+	}
+}
+
+type memListener struct {
+	net    *MemNetwork
+	addr   string
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }
+
+// meteredConn counts written bytes and injects latency.
+type meteredConn struct {
+	net.Conn
+	net *MemNetwork
+}
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	if d := c.net.Latency; d > 0 {
+		time.Sleep(d)
+	}
+	// Count before writing: a pipe reader can observe the payload (and a
+	// caller can read the counters) before a post-write increment runs.
+	c.net.bytesSent.Add(int64(len(p)))
+	n, err := c.Conn.Write(p)
+	if n != len(p) {
+		c.net.bytesSent.Add(int64(n - len(p)))
+	}
+	return n, err
+}

@@ -1,0 +1,186 @@
+// Package queue implements the server-side command queue: a priority-FIFO
+// store of pending commands with the resource-matching logic of §2.3 — a
+// worker announces its platform, core count and installed executables, and
+// the queue assembles a workload that maximally utilises those resources
+// given each command's preferred core range.
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"copernicus/internal/wire"
+)
+
+// Queue is a concurrency-safe priority command queue. Higher Priority pops
+// first; equal priorities pop in submission order.
+type Queue struct {
+	mu    sync.Mutex
+	items pq
+	byID  map[string]*item
+	seq   uint64
+}
+
+type item struct {
+	cmd   wire.CommandSpec
+	seq   uint64
+	index int // heap position, -1 once removed
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{byID: make(map[string]*item)}
+}
+
+// Push validates and enqueues a command. Duplicate IDs are rejected.
+func (q *Queue) Push(cmd wire.CommandSpec) error {
+	if err := cmd.Validate(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, dup := q.byID[cmd.ID]; dup {
+		return fmt.Errorf("queue: duplicate command ID %q", cmd.ID)
+	}
+	it := &item{cmd: cmd, seq: q.seq}
+	q.seq++
+	q.byID[cmd.ID] = it
+	heap.Push(&q.items, it)
+	return nil
+}
+
+// Len returns the number of queued commands.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Remove deletes a queued command by ID, returning whether it was present.
+// This is how the adaptive controller terminates not-yet-started
+// trajectories.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.byID[id]
+	if !ok {
+		return false
+	}
+	delete(q.byID, id)
+	heap.Remove(&q.items, it.index)
+	return true
+}
+
+// Contains reports whether a command is queued.
+func (q *Queue) Contains(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.byID[id]
+	return ok
+}
+
+// Match assembles a workload for the announced worker: it pops the
+// highest-priority commands whose executable the worker has and whose
+// MinCores fit in the remaining budget, then distributes leftover cores up
+// to each command's MaxCores (earlier = higher priority commands first).
+// Matched commands are removed from the queue. An empty workload means the
+// queue holds nothing this worker can run.
+func (q *Queue) Match(info wire.WorkerInfo) wire.Workload {
+	canRun := make(map[string]bool, len(info.Executables))
+	for _, e := range info.Executables {
+		canRun[e] = true
+	}
+	wl := wire.Workload{Cores: make(map[string]int)}
+	if info.Cores < 1 {
+		return wl
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	remaining := info.Cores
+	var chosen []*item
+	var skipped []*item
+	for len(q.items) > 0 && remaining > 0 {
+		it := heap.Pop(&q.items).(*item)
+		if !canRun[it.cmd.Type] || it.cmd.MinCores > remaining {
+			skipped = append(skipped, it)
+			continue
+		}
+		chosen = append(chosen, it)
+		remaining -= it.cmd.MinCores
+		delete(q.byID, it.cmd.ID)
+	}
+	// Put unmatchable commands back in their original order.
+	for _, it := range skipped {
+		heap.Push(&q.items, it)
+	}
+
+	// Grow assignments toward MaxCores while spare cores remain.
+	for _, it := range chosen {
+		wl.Cores[it.cmd.ID] = it.cmd.MinCores
+	}
+	for remaining > 0 {
+		grew := false
+		for _, it := range chosen {
+			if remaining == 0 {
+				break
+			}
+			if wl.Cores[it.cmd.ID] < it.cmd.MaxCores {
+				wl.Cores[it.cmd.ID]++
+				remaining--
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for _, it := range chosen {
+		wl.Commands = append(wl.Commands, it.cmd)
+	}
+	return wl
+}
+
+// Drain removes and returns all queued commands (used at project teardown).
+func (q *Queue) Drain() []wire.CommandSpec {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]wire.CommandSpec, 0, len(q.items))
+	for len(q.items) > 0 {
+		it := heap.Pop(&q.items).(*item)
+		delete(q.byID, it.cmd.ID)
+		out = append(out, it.cmd)
+	}
+	return out
+}
+
+// pq implements container/heap ordered by (priority desc, seq asc).
+type pq []*item
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].cmd.Priority != p[j].cmd.Priority {
+		return p[i].cmd.Priority > p[j].cmd.Priority
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pq) Swap(i, j int) {
+	p[i], p[j] = p[j], p[i]
+	p[i].index = i
+	p[j].index = j
+}
+func (p *pq) Push(x any) {
+	it := x.(*item)
+	it.index = len(*p)
+	*p = append(*p, it)
+}
+func (p *pq) Pop() any {
+	old := *p
+	it := old[len(old)-1]
+	it.index = -1
+	old[len(old)-1] = nil
+	*p = old[:len(old)-1]
+	return it
+}

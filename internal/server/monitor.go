@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"copernicus/internal/wire"
+)
+
+// Projects returns status snapshots for every project on this server,
+// sorted by name — the data behind both cpcctl and the web monitor.
+func (s *Server) Projects() []wire.ProjectStatus {
+	s.mu.Lock()
+	ps := make([]*project, 0, len(s.projects))
+	for _, p := range s.projects {
+		ps = append(ps, p)
+	}
+	s.mu.Unlock()
+	out := make([]wire.ProjectStatus, 0, len(ps))
+	for _, p := range ps {
+		p.mu.Lock()
+		out = append(out, s.statusLocked(p))
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Workers returns the home server's current worker liveness records.
+func (s *Server) Workers() []wire.WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.WorkerInfo, 0, len(s.workers))
+	for _, ws := range s.workers {
+		out = append(out, ws.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// monitorStatus is the JSON shape served per project (results are omitted:
+// they can be megabytes; clients fetch them over the wire protocol).
+type monitorStatus struct {
+	Name       string `json:"name"`
+	Controller string `json:"controller"`
+	State      string `json:"state"`
+	Generation int    `json:"generation"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Finished   int    `json:"finished"`
+	Failed     int    `json:"failed"`
+	Note       string `json:"note"`
+	HasResult  bool   `json:"hasResult"`
+}
+
+func toMonitor(st wire.ProjectStatus) monitorStatus {
+	return monitorStatus{
+		Name:       st.Name,
+		Controller: st.Controller,
+		State:      st.State,
+		Generation: st.Generation,
+		Queued:     st.Queued,
+		Running:    st.Running,
+		Finished:   st.Finished,
+		Failed:     st.Failed,
+		Note:       st.Note,
+		HasResult:  st.Result != nil,
+	}
+}
+
+// MonitorHandler returns the HTTP handler of the paper's real-time
+// monitoring interface:
+//
+//	GET /            human-readable overview
+//	GET /projects    JSON list of project statuses
+//	GET /projects/N  JSON status of project N
+//	GET /workers     JSON list of announced workers
+//	GET /healthz     liveness probe
+//
+// Serve it with http.ListenAndServe(addr, s.MonitorHandler()) or mount it
+// under an existing mux; it performs no writes and needs no authentication
+// beyond what the deployment puts in front of it.
+func (s *Server) MonitorHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			s.cfg.Logf("server %s: monitor encode: %v", s.node.ID(), err)
+		}
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/projects", func(w http.ResponseWriter, r *http.Request) {
+		sts := s.Projects()
+		out := make([]monitorStatus, 0, len(sts))
+		for _, st := range sts {
+			out = append(out, toMonitor(st))
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/projects/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/projects/")
+		st, ok := s.Project(name)
+		if !ok {
+			http.Error(w, "unknown project", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, toMonitor(st))
+	})
+	mux.HandleFunc("/workers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Workers())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "copernicus server %s\n\n", s.node.ID())
+		fmt.Fprintf(w, "%-20s %-12s %-10s %4s %7s %8s %9s %7s  %s\n",
+			"PROJECT", "CONTROLLER", "STATE", "GEN", "QUEUED", "RUNNING", "FINISHED", "FAILED", "NOTE")
+		for _, st := range s.Projects() {
+			fmt.Fprintf(w, "%-20s %-12s %-10s %4d %7d %8d %9d %7d  %s\n",
+				st.Name, st.Controller, st.State, st.Generation,
+				st.Queued, st.Running, st.Finished, st.Failed, st.Note)
+		}
+		fmt.Fprintf(w, "\n%d workers announced; queue depth %d\n", len(s.Workers()), s.QueueLen())
+	})
+	return mux
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"copernicus/internal/wire"
+)
+
+func monitorGet(t *testing.T, r *rig, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	r.srv.MonitorHandler().ServeHTTP(rec, req)
+	return rec, rec.Body.String()
+}
+
+func TestMonitorProjectsJSON(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1"), cmdSpec("c2")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "alpha")
+
+	rec, body := monitorGet(t, r, "/projects")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(list) != 1 || list[0]["name"] != "alpha" || list[0]["state"] != "running" {
+		t.Errorf("projects = %v", list)
+	}
+	if list[0]["queued"].(float64) != 2 {
+		t.Errorf("queued = %v", list[0]["queued"])
+	}
+}
+
+func TestMonitorSingleProject(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}, finishOn: 1}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "beta")
+
+	rec, body := monitorGet(t, r, "/projects/beta")
+	if rec.Code != 200 || !strings.Contains(body, `"beta"`) {
+		t.Fatalf("status=%d body=%s", rec.Code, body)
+	}
+	// Complete the project; the monitor must reflect it without exposing
+	// the (potentially huge) result blob.
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	res := wire.CommandResult{CommandID: "c1", Project: "beta", WorkerID: "w1", OK: true}
+	if err := r.request(t, wire.MsgResult, &res, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, body = monitorGet(t, r, "/projects/beta")
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["state"] != "finished" || st["hasResult"] != true {
+		t.Errorf("status = %v", st)
+	}
+	if _, leaked := st["result"]; leaked {
+		t.Error("monitor leaked the result payload")
+	}
+
+	rec, _ = monitorGet(t, r, "/projects/ghost")
+	if rec.Code != 404 {
+		t.Errorf("unknown project status = %d", rec.Code)
+	}
+}
+
+func TestMonitorOverviewAndWorkers(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "gamma")
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 2), &wl); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, body := monitorGet(t, r, "/")
+	if rec.Code != 200 || !strings.Contains(body, "gamma") || !strings.Contains(body, "PROJECT") {
+		t.Errorf("overview: %d\n%s", rec.Code, body)
+	}
+	_, body = monitorGet(t, r, "/workers")
+	var workers []wire.WorkerInfo
+	if err := json.Unmarshal([]byte(body), &workers); err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 1 || workers[0].ID != "w1" || workers[0].Cores != 2 {
+		t.Errorf("workers = %v", workers)
+	}
+	rec, body = monitorGet(t, r, "/healthz")
+	if rec.Code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %s", rec.Code, body)
+	}
+	rec, _ = monitorGet(t, r, "/no-such-page")
+	if rec.Code != 404 {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,679 @@
+// Package server implements the Copernicus server: the symmetric overlay
+// participant of §2 that holds projects, queues commands, matches workloads
+// to announcing workers, relays requests for workers it cannot serve
+// locally, monitors heartbeats, and drives controller plugins as commands
+// complete.
+//
+// Every server runs identical code; whether it acts as a project server or
+// as a relay on a cluster head node is determined purely by which projects
+// it holds and how it is connected — the paper's "fully symmetric"
+// architecture.
+package server
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/overlay"
+	"copernicus/internal/queue"
+	"copernicus/internal/wire"
+)
+
+// Config tunes a server. Zero values select the defaults noted per field.
+type Config struct {
+	// HeartbeatInterval is what workers are told to use; a worker is
+	// declared dead after missing two intervals (§2.3). Default 120 s.
+	HeartbeatInterval time.Duration
+	// RelayTimeout bounds the anycast search for work on behalf of a
+	// locally-announced worker. Default 2 s.
+	RelayTimeout time.Duration
+	// MaxRetries is how many times a command is requeued after worker
+	// failures before the controller sees a terminal failure. Default 2.
+	MaxRetries int
+	// FSToken identifies the server's filesystem for the shared-FS
+	// optimisation; empty disables it.
+	FSToken string
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 120 * time.Second
+	}
+	if c.RelayTimeout <= 0 {
+		c.RelayTimeout = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// cmdStatus tracks a command through its lifecycle.
+type cmdStatus int
+
+const (
+	cmdQueued cmdStatus = iota
+	cmdRunning
+	cmdDone
+	cmdFailed
+	cmdTerminated
+)
+
+// cmdState is the project server's record of one command.
+type cmdState struct {
+	spec       wire.CommandSpec
+	status     cmdStatus
+	worker     string
+	retries    int
+	checkpoint []byte // latest partial checkpoint for failover
+}
+
+// project is one controller-driven job.
+type project struct {
+	mu         sync.Mutex
+	name       string
+	ctrl       controller.Controller
+	state      string // "running", "finished", "failed"
+	generation int
+	note       string
+	result     []byte
+	failErr    string
+	commands   map[string]*cmdState
+	finished   int
+	failed     int
+	done       chan struct{}
+	seed       uint64
+}
+
+// workerState is the home server's liveness record for a worker.
+type workerState struct {
+	info     wire.WorkerInfo
+	lastSeen time.Time
+	// commands the worker is running, mapped to the Origin server each
+	// belongs to, learned from relayed workloads.
+	commands map[string]string
+}
+
+// Server is a Copernicus server node.
+type Server struct {
+	node *overlay.Node
+	reg  *controller.Registry
+	cfg  Config
+	q    *queue.Queue
+
+	mu       sync.Mutex
+	projects map[string]*project
+	workers  map[string]*workerState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New wires a server onto an overlay node. The node should already be
+// listening; New registers the protocol handlers and starts the heartbeat
+// monitor.
+func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		node:     node,
+		reg:      reg,
+		cfg:      cfg,
+		q:        queue.New(),
+		projects: make(map[string]*project),
+		workers:  make(map[string]*workerState),
+		stop:     make(chan struct{}),
+	}
+	node.Handle(wire.MsgSubmit, s.handleSubmit)
+	node.Handle(wire.MsgAnnounce, s.handleAnnounce)
+	node.Handle(wire.MsgResult, s.handleResult)
+	node.Handle(wire.MsgHeartbeat, s.handleHeartbeat)
+	node.Handle(wire.MsgStatus, s.handleStatus)
+	node.Handle(wire.MsgWorkerFailed, s.handleWorkerFailed)
+	node.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) { return p, nil })
+	s.wg.Add(1)
+	go s.monitorHeartbeats()
+	return s
+}
+
+// Node returns the underlying overlay node.
+func (s *Server) Node() *overlay.Node { return s.node }
+
+// QueueLen reports the number of commands waiting for workers.
+func (s *Server) QueueLen() int { return s.q.Len() }
+
+// Close stops the heartbeat monitor. The overlay node is left to its owner.
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// --- project lifecycle ---
+
+// handleSubmit creates a project and runs its controller's Start handler.
+func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
+	var sub wire.ProjectSubmit
+	if err := wire.Unmarshal(payload, &sub); err != nil {
+		return nil, err
+	}
+	if sub.Name == "" {
+		return nil, fmt.Errorf("server: project needs a name")
+	}
+	ctrl, err := s.reg.New(sub.Controller)
+	if err != nil {
+		return nil, err
+	}
+	p := &project{
+		name:     sub.Name,
+		ctrl:     ctrl,
+		state:    "running",
+		commands: make(map[string]*cmdState),
+		done:     make(chan struct{}),
+		seed:     seedFromName(sub.Name),
+	}
+	s.mu.Lock()
+	if _, dup := s.projects[sub.Name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: project %q already exists", sub.Name)
+	}
+	s.projects[sub.Name] = p
+	s.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := ctrl.Start(s.contextFor(p), sub.Params); err != nil {
+		p.state = "failed"
+		p.failErr = err.Error()
+		close(p.done)
+		return nil, fmt.Errorf("server: starting project %q: %w", sub.Name, err)
+	}
+	s.cfg.Logf("server %s: project %q started (%s)", s.node.ID(), sub.Name, sub.Controller)
+	return wire.Marshal(&wire.ProjectStatus{Name: sub.Name, State: p.state})
+}
+
+// seedFromName derives a stable project seed.
+func seedFromName(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Project returns a snapshot of a project's status.
+func (s *Server) Project(name string) (wire.ProjectStatus, bool) {
+	s.mu.Lock()
+	p := s.projects[name]
+	s.mu.Unlock()
+	if p == nil {
+		return wire.ProjectStatus{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return s.statusLocked(p), true
+}
+
+// WaitProject blocks until the named project finishes or fails, or the
+// timeout elapses.
+func (s *Server) WaitProject(name string, timeout time.Duration) (wire.ProjectStatus, error) {
+	s.mu.Lock()
+	p := s.projects[name]
+	s.mu.Unlock()
+	if p == nil {
+		return wire.ProjectStatus{}, fmt.Errorf("server: unknown project %q", name)
+	}
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		return wire.ProjectStatus{}, fmt.Errorf("server: project %q still running after %v", name, timeout)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return s.statusLocked(p), nil
+}
+
+func (s *Server) statusLocked(p *project) wire.ProjectStatus {
+	st := wire.ProjectStatus{
+		Name:       p.name,
+		Controller: p.ctrl.Name(),
+		State:      p.state,
+		Generation: p.generation,
+		Note:       p.note,
+		Finished:   p.finished,
+		Failed:     p.failed,
+		Result:     p.result,
+	}
+	if p.failErr != "" {
+		st.Note = p.failErr
+	}
+	for _, c := range p.commands {
+		switch c.status {
+		case cmdQueued:
+			st.Queued++
+		case cmdRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// handleStatus serves monitoring queries.
+func (s *Server) handleStatus(from string, payload []byte) ([]byte, error) {
+	var req wire.ProjectStatusRequest
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	st, ok := s.Project(req.Name)
+	if !ok {
+		// Another server may hold it; let the overlay keep looking.
+		return nil, overlay.ErrNotHandled
+	}
+	return wire.Marshal(&st)
+}
+
+// --- controller context ---
+
+type ctxImpl struct {
+	s *Server
+	p *project
+}
+
+func (s *Server) contextFor(p *project) controller.Context { return &ctxImpl{s: s, p: p} }
+
+func (c *ctxImpl) ProjectName() string { return c.p.name }
+func (c *ctxImpl) Seed() uint64        { return c.p.seed }
+func (c *ctxImpl) Logf(format string, args ...any) {
+	c.s.cfg.Logf("project %s: "+format, append([]any{c.p.name}, args...)...)
+}
+
+func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
+	cmd.Project = c.p.name
+	cmd.Origin = c.s.node.ID()
+	if err := cmd.Validate(); err != nil {
+		return err
+	}
+	if _, dup := c.p.commands[cmd.ID]; dup {
+		return fmt.Errorf("server: duplicate command %q in project %q", cmd.ID, c.p.name)
+	}
+	if err := c.s.q.Push(cmd); err != nil {
+		return err
+	}
+	c.p.commands[cmd.ID] = &cmdState{spec: cmd, status: cmdQueued}
+	return nil
+}
+
+func (c *ctxImpl) Terminate(id string) bool {
+	cs, ok := c.p.commands[id]
+	if !ok {
+		return false
+	}
+	if cs.status == cmdQueued {
+		c.s.q.Remove(id)
+	}
+	cs.status = cmdTerminated
+	return true
+}
+
+func (c *ctxImpl) SetStatus(generation int, note string) {
+	c.p.generation = generation
+	c.p.note = note
+}
+
+func (c *ctxImpl) Finish(result []byte) {
+	if c.p.state != "running" {
+		return
+	}
+	c.p.state = "finished"
+	c.p.result = result
+	close(c.p.done)
+}
+
+func (c *ctxImpl) Fail(err error) {
+	if c.p.state != "running" {
+		return
+	}
+	c.p.state = "failed"
+	c.p.failErr = err.Error()
+	close(c.p.done)
+}
+
+// --- worker traffic ---
+
+// handleAnnounce matches a worker to queued commands; when the local queue
+// has nothing suitable it relays the announcement into the overlay (for a
+// direct announcement) or declines it (for an already-relayed one), so the
+// request reaches "the first server with available commands".
+func (s *Server) handleAnnounce(from string, payload []byte) ([]byte, error) {
+	var req wire.AnnounceRequest
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	wl := s.q.Match(req.Info)
+	if len(wl.Commands) > 0 {
+		wl.HeartbeatSeconds = s.cfg.HeartbeatInterval.Seconds()
+		wl.SharedFS = s.cfg.FSToken != "" && s.cfg.FSToken == req.Info.FSToken
+		s.markAssigned(req.Info, wl, from, !req.Relayed)
+		return wire.Marshal(&wl)
+	}
+	if req.Relayed {
+		return nil, overlay.ErrNotHandled
+	}
+	// Direct announcement from one of our workers: search the overlay on
+	// its behalf.
+	s.touchWorker(req.Info)
+	relay := req
+	relay.Relayed = true
+	rp, err := wire.Marshal(&relay)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := s.node.Request("", wire.MsgAnnounce, rp, s.cfg.RelayTimeout)
+	if err == nil {
+		var remote wire.Workload
+		if derr := wire.Unmarshal(reply, &remote); derr == nil && len(remote.Commands) > 0 {
+			s.recordRelayedWorkload(req.Info.ID, &remote)
+			return reply, nil
+		}
+	}
+	// Nothing anywhere: empty workload, worker will poll again.
+	empty := wire.Workload{HeartbeatSeconds: s.cfg.HeartbeatInterval.Seconds()}
+	return wire.Marshal(&empty)
+}
+
+// markAssigned updates project command states for a local match and, when
+// the worker announced directly to us, records it for heartbeat tracking.
+func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from string, direct bool) {
+	for _, cmd := range wl.Commands {
+		s.withProjectCommand(cmd.Project, cmd.ID, func(p *project, cs *cmdState) {
+			cs.status = cmdRunning
+			cs.worker = info.ID
+		})
+	}
+	if direct {
+		s.touchWorker(info)
+		s.mu.Lock()
+		if ws := s.workers[info.ID]; ws != nil {
+			for _, cmd := range wl.Commands {
+				ws.commands[cmd.ID] = cmd.Origin
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// recordRelayedWorkload notes which origin server each relayed command
+// belongs to, so heartbeat failures can be reported upstream.
+func (s *Server) recordRelayedWorkload(workerID string, wl *wire.Workload) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.workers[workerID]
+	if ws == nil {
+		return
+	}
+	for _, cmd := range wl.Commands {
+		ws.commands[cmd.ID] = cmd.Origin
+	}
+}
+
+// touchWorker refreshes (or creates) the liveness record of a directly
+// announcing worker. A worker only announces once its previous workload has
+// fully completed, so the command record is reset here rather than tracked
+// per result.
+func (s *Server) touchWorker(info wire.WorkerInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.workers[info.ID]
+	if ws == nil {
+		ws = &workerState{}
+		s.workers[info.ID] = ws
+	}
+	ws.commands = make(map[string]string)
+	ws.info = info
+	ws.lastSeen = time.Now()
+}
+
+// withProjectCommand runs f under the project lock if both exist.
+func (s *Server) withProjectCommand(projectName, cmdID string, f func(*project, *cmdState)) {
+	s.mu.Lock()
+	p := s.projects[projectName]
+	s.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cs := p.commands[cmdID]; cs != nil {
+		f(p, cs)
+	}
+}
+
+// handleResult ingests finished or partial command results at the project
+// server.
+func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
+	var res wire.CommandResult
+	if err := wire.Unmarshal(payload, &res); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	p := s.projects[res.Project]
+	s.mu.Unlock()
+	if p == nil {
+		return nil, overlay.ErrNotHandled // maybe another server's project
+	}
+
+	// Shared-filesystem path: load the output by reference.
+	if res.OutputPath != "" && len(res.Output) == 0 {
+		data, err := os.ReadFile(res.OutputPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: reading shared-FS output %s: %w", res.OutputPath, err)
+		}
+		res.Output = data
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := p.commands[res.CommandID]
+	if cs == nil {
+		return []byte("ignored"), nil
+	}
+	if res.Partial {
+		// Intermediate checkpoint for failover; §2.3's transparent hand-off.
+		cs.checkpoint = res.Checkpoint
+		return []byte("checkpointed"), nil
+	}
+	if cs.status == cmdTerminated || cs.status == cmdDone {
+		return []byte("ignored"), nil
+	}
+	if !res.OK {
+		return nil, fmt.Errorf("server: worker-reported failure for %s: %s", res.CommandID, res.Error)
+	}
+	cs.status = cmdDone
+	p.finished++
+	if p.state != "running" {
+		return []byte("ok"), nil
+	}
+	if err := p.ctrl.CommandFinished(s.contextFor(p), &res); err != nil {
+		p.state = "failed"
+		p.failErr = err.Error()
+		close(p.done)
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// --- heartbeats and failure recovery ---
+
+// handleHeartbeat refreshes liveness and reports terminated commands the
+// worker should abort.
+func (s *Server) handleHeartbeat(from string, payload []byte) ([]byte, error) {
+	var hb wire.Heartbeat
+	if err := wire.Unmarshal(payload, &hb); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ws := s.workers[hb.WorkerID]
+	if ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	s.mu.Unlock()
+
+	var ack wire.HeartbeatAck
+	for _, id := range hb.CommandIDs {
+		s.mu.Lock()
+		var owner *project
+		for _, p := range s.projects {
+			p.mu.Lock()
+			cs := p.commands[id]
+			terminated := cs != nil && cs.status == cmdTerminated
+			p.mu.Unlock()
+			if terminated {
+				owner = p
+				break
+			}
+		}
+		s.mu.Unlock()
+		if owner != nil {
+			ack.AbortCommandIDs = append(ack.AbortCommandIDs, id)
+		}
+	}
+	return wire.Marshal(&ack)
+}
+
+// monitorHeartbeats declares workers dead after 2× the heartbeat interval
+// and triggers command recovery.
+func (s *Server) monitorHeartbeats() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.reapDeadWorkers()
+		}
+	}
+}
+
+func (s *Server) reapDeadWorkers() {
+	cutoff := time.Now().Add(-2 * s.cfg.HeartbeatInterval)
+	type victim struct {
+		id       string
+		commands map[string]string
+	}
+	var victims []victim
+	s.mu.Lock()
+	for id, ws := range s.workers {
+		if !ws.lastSeen.Before(cutoff) {
+			continue
+		}
+		delete(s.workers, id)
+		// An idle worker (nothing assigned) going quiet needs no recovery:
+		// it either left or will re-announce. Only report workers that held
+		// commands.
+		if len(ws.commands) > 0 {
+			victims = append(victims, victim{id: id, commands: ws.commands})
+		}
+	}
+	s.mu.Unlock()
+
+	for _, v := range victims {
+		s.cfg.Logf("server %s: worker %s missed heartbeats, recovering %d commands",
+			s.node.ID(), v.id, len(v.commands))
+		// Group by origin server.
+		byOrigin := make(map[string][]string)
+		for cmdID, origin := range v.commands {
+			byOrigin[origin] = append(byOrigin[origin], cmdID)
+		}
+		for origin, ids := range byOrigin {
+			wf := wire.WorkerFailed{WorkerID: v.id, CommandIDs: ids}
+			if origin == s.node.ID() {
+				s.recoverCommands(wf)
+				continue
+			}
+			payload, err := wire.Marshal(&wf)
+			if err != nil {
+				continue
+			}
+			if _, err := s.node.Request(origin, wire.MsgWorkerFailed, payload, s.cfg.RelayTimeout); err != nil {
+				s.cfg.Logf("server %s: reporting worker failure to %s: %v", s.node.ID(), origin, err)
+			}
+		}
+	}
+}
+
+// handleWorkerFailed receives failure reports from relay servers.
+func (s *Server) handleWorkerFailed(from string, payload []byte) ([]byte, error) {
+	var wf wire.WorkerFailed
+	if err := wire.Unmarshal(payload, &wf); err != nil {
+		return nil, err
+	}
+	s.recoverCommands(wf)
+	return []byte("ok"), nil
+}
+
+// recoverCommands requeues (from the last checkpoint) or terminally fails
+// the commands a dead worker was running.
+func (s *Server) recoverCommands(wf wire.WorkerFailed) {
+	for _, cmdID := range wf.CommandIDs {
+		s.mu.Lock()
+		var owner *project
+		for _, p := range s.projects {
+			p.mu.Lock()
+			cs, ok := p.commands[cmdID]
+			p.mu.Unlock()
+			if ok && cs != nil {
+				owner = p
+				break
+			}
+		}
+		s.mu.Unlock()
+		if owner == nil {
+			continue
+		}
+		owner.mu.Lock()
+		cs := owner.commands[cmdID]
+		if cs == nil || cs.status != cmdRunning ||
+			(wf.WorkerID != "" && cs.worker != "" && cs.worker != wf.WorkerID) {
+			// Finished, terminated, or already reassigned elsewhere.
+			owner.mu.Unlock()
+			continue
+		}
+		if cs.retries < s.cfg.MaxRetries {
+			cs.retries++
+			spec := cs.spec
+			spec.Checkpoint = cs.checkpoint // resume where the dead worker left off
+			cs.status = cmdQueued
+			cs.worker = ""
+			if err := s.q.Push(spec); err != nil {
+				s.cfg.Logf("server %s: requeueing %s: %v", s.node.ID(), cmdID, err)
+			} else {
+				s.cfg.Logf("server %s: requeued %s (retry %d, checkpoint %d bytes)",
+					s.node.ID(), cmdID, cs.retries, len(cs.checkpoint))
+				owner.mu.Unlock()
+				continue
+			}
+		}
+		// Terminal failure.
+		cs.status = cmdFailed
+		owner.failed++
+		err := owner.ctrl.CommandFailed(s.contextFor(owner), cs.spec, "worker lost")
+		if err != nil && owner.state == "running" {
+			owner.state = "failed"
+			owner.failErr = err.Error()
+			close(owner.done)
+		}
+		owner.mu.Unlock()
+	}
+}

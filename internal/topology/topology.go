@@ -1,0 +1,254 @@
+// Package topology describes molecular systems for the MD substrate: atoms
+// with masses and charges, Lennard-Jones interaction types with
+// Lorentz–Berthelot combination rules, bonded interaction terms (harmonic
+// bonds and angles, periodic dihedrals) and the non-bonded exclusion list
+// derived from bonded connectivity.
+//
+// Units follow the Gromacs convention used throughout the reproduction:
+// length nm, energy kJ/mol, mass u, charge e, time ps.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KB is Boltzmann's constant in kJ/(mol·K).
+const KB = 0.0083144621
+
+// CoulombConst is 1/(4π ε0) in kJ·nm/(mol·e²).
+const CoulombConst = 138.935485
+
+// LJType is a Lennard-Jones atom type: V(r) = 4ε[(σ/r)¹² − (σ/r)⁶].
+type LJType struct {
+	Name    string
+	Sigma   float64 // nm
+	Epsilon float64 // kJ/mol
+}
+
+// Atom is one particle.
+type Atom struct {
+	Name   string
+	Type   int     // index into Topology.LJTypes
+	Mass   float64 // u
+	Charge float64 // e
+}
+
+// Bond is a harmonic bond: V = ½ K (r − R0)².
+type Bond struct {
+	I, J int
+	R0   float64 // nm
+	K    float64 // kJ/(mol·nm²)
+}
+
+// Angle is a harmonic angle: V = ½ K (θ − Theta0)², θ in radians.
+type Angle struct {
+	I, J, K int // J is the vertex
+	Theta0  float64
+	KForce  float64 // kJ/(mol·rad²)
+}
+
+// Dihedral is a periodic (proper) dihedral: V = K (1 + cos(n φ − φ0)).
+type Dihedral struct {
+	I, J, K, L int
+	Phi0       float64 // radians
+	KForce     float64 // kJ/mol
+	Mult       int
+}
+
+// Topology is an immutable-after-Validate description of a molecular system.
+type Topology struct {
+	Atoms     []Atom
+	LJTypes   []LJType
+	Bonds     []Bond
+	Angles    []Angle
+	Dihedrals []Dihedral
+
+	// Exclusions[i] lists atom indices j > i whose non-bonded interaction
+	// with i is excluded (1-2 and 1-3 bonded neighbours). Built by
+	// BuildExclusions; Validate requires it to be either nil or complete.
+	Exclusions [][]int
+
+	// pair tables, built lazily by Validate
+	c6, c12 []float64 // len = nTypes², combined LJ parameters
+	nTypes  int
+}
+
+// NAtoms returns the number of atoms.
+func (t *Topology) NAtoms() int { return len(t.Atoms) }
+
+// Validate checks index ranges and physical sanity, builds exclusions if
+// absent, and precomputes the combined LJ pair table. It must be called once
+// before the topology is used by a simulation.
+func (t *Topology) Validate() error {
+	n := len(t.Atoms)
+	if n == 0 {
+		return fmt.Errorf("topology: no atoms")
+	}
+	if len(t.LJTypes) == 0 {
+		return fmt.Errorf("topology: no LJ types")
+	}
+	for i, a := range t.Atoms {
+		if a.Type < 0 || a.Type >= len(t.LJTypes) {
+			return fmt.Errorf("topology: atom %d has invalid LJ type %d", i, a.Type)
+		}
+		if a.Mass <= 0 {
+			return fmt.Errorf("topology: atom %d has non-positive mass %g", i, a.Mass)
+		}
+	}
+	for bi, b := range t.Bonds {
+		if !validIdx(b.I, n) || !validIdx(b.J, n) || b.I == b.J {
+			return fmt.Errorf("topology: bond %d has invalid atoms (%d,%d)", bi, b.I, b.J)
+		}
+		if b.R0 <= 0 || b.K < 0 {
+			return fmt.Errorf("topology: bond %d has invalid parameters", bi)
+		}
+	}
+	for ai, a := range t.Angles {
+		if !validIdx(a.I, n) || !validIdx(a.J, n) || !validIdx(a.K, n) ||
+			a.I == a.J || a.J == a.K || a.I == a.K {
+			return fmt.Errorf("topology: angle %d has invalid atoms", ai)
+		}
+	}
+	for di, d := range t.Dihedrals {
+		idx := [4]int{d.I, d.J, d.K, d.L}
+		for x := 0; x < 4; x++ {
+			if !validIdx(idx[x], n) {
+				return fmt.Errorf("topology: dihedral %d has invalid atoms", di)
+			}
+			for y := x + 1; y < 4; y++ {
+				if idx[x] == idx[y] {
+					return fmt.Errorf("topology: dihedral %d repeats atom %d", di, idx[x])
+				}
+			}
+		}
+		if d.Mult < 1 {
+			return fmt.Errorf("topology: dihedral %d has multiplicity %d < 1", di, d.Mult)
+		}
+	}
+	if t.Exclusions == nil {
+		t.BuildExclusions()
+	} else if len(t.Exclusions) != n {
+		return fmt.Errorf("topology: exclusion list length %d != %d atoms", len(t.Exclusions), n)
+	}
+	t.buildPairTable()
+	return nil
+}
+
+func validIdx(i, n int) bool { return i >= 0 && i < n }
+
+// BuildExclusions derives the 1-2 and 1-3 exclusion list from the bond and
+// angle terms. Each list contains only indices greater than the owner, since
+// pair loops visit each pair once with i < j.
+func (t *Topology) BuildExclusions() {
+	n := len(t.Atoms)
+	sets := make([]map[int]bool, n)
+	add := func(i, j int) {
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if sets[lo] == nil {
+			sets[lo] = make(map[int]bool)
+		}
+		sets[lo][hi] = true
+	}
+	for _, b := range t.Bonds {
+		add(b.I, b.J)
+	}
+	for _, a := range t.Angles {
+		add(a.I, a.J)
+		add(a.J, a.K)
+		add(a.I, a.K)
+	}
+	t.Exclusions = make([][]int, n)
+	for i, s := range sets {
+		if s == nil {
+			continue
+		}
+		lst := make([]int, 0, len(s))
+		for j := range s {
+			lst = append(lst, j)
+		}
+		sort.Ints(lst)
+		t.Exclusions[i] = lst
+	}
+}
+
+// Excluded reports whether the non-bonded pair (i, j) is excluded.
+func (t *Topology) Excluded(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	if t.Exclusions == nil || i >= len(t.Exclusions) {
+		return false
+	}
+	lst := t.Exclusions[i]
+	k := sort.SearchInts(lst, j)
+	return k < len(lst) && lst[k] == j
+}
+
+// buildPairTable precomputes C6/C12 coefficients for every ordered type pair
+// using Lorentz–Berthelot combination rules (arithmetic σ, geometric ε).
+func (t *Topology) buildPairTable() {
+	nt := len(t.LJTypes)
+	t.nTypes = nt
+	t.c6 = make([]float64, nt*nt)
+	t.c12 = make([]float64, nt*nt)
+	for a := 0; a < nt; a++ {
+		for b := 0; b < nt; b++ {
+			sigma := 0.5 * (t.LJTypes[a].Sigma + t.LJTypes[b].Sigma)
+			eps := geomMean(t.LJTypes[a].Epsilon, t.LJTypes[b].Epsilon)
+			s6 := pow6(sigma)
+			t.c6[a*nt+b] = 4 * eps * s6
+			t.c12[a*nt+b] = 4 * eps * s6 * s6
+		}
+	}
+}
+
+func geomMean(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return math.Sqrt(a * b)
+}
+
+func pow6(x float64) float64 {
+	x3 := x * x * x
+	return x3 * x3
+}
+
+// LJPair returns the combined C6 and C12 coefficients for LJ types a and b.
+// Validate must have been called.
+func (t *Topology) LJPair(a, b int) (c6, c12 float64) {
+	return t.c6[a*t.nTypes+b], t.c12[a*t.nTypes+b]
+}
+
+// TotalMass returns the sum of atomic masses.
+func (t *Topology) TotalMass() float64 {
+	m := 0.0
+	for _, a := range t.Atoms {
+		m += a.Mass
+	}
+	return m
+}
+
+// TotalCharge returns the net charge of the system.
+func (t *Topology) TotalCharge() float64 {
+	q := 0.0
+	for _, a := range t.Atoms {
+		q += a.Charge
+	}
+	return q
+}
+
+// DegreesOfFreedom returns the number of kinetic degrees of freedom, 3N
+// minus 3 for the removed centre-of-mass motion.
+func (t *Topology) DegreesOfFreedom() int {
+	d := 3*len(t.Atoms) - 3
+	if d < 1 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,304 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validFluid(t *testing.T, n int) *System {
+	t.Helper()
+	sys, err := LJFluid(n, 10, 1)
+	if err != nil {
+		t.Fatalf("LJFluid: %v", err)
+	}
+	return sys
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	lj := []LJType{{Name: "A", Sigma: 0.3, Epsilon: 1}}
+	mkAtoms := func(n int) []Atom {
+		as := make([]Atom, n)
+		for i := range as {
+			as[i] = Atom{Type: 0, Mass: 1}
+		}
+		return as
+	}
+	cases := map[string]*Topology{
+		"no atoms":      {LJTypes: lj},
+		"no types":      {Atoms: mkAtoms(1)},
+		"bad type":      {LJTypes: lj, Atoms: []Atom{{Type: 5, Mass: 1}}},
+		"bad mass":      {LJTypes: lj, Atoms: []Atom{{Type: 0, Mass: 0}}},
+		"bond self":     {LJTypes: lj, Atoms: mkAtoms(2), Bonds: []Bond{{I: 1, J: 1, R0: 0.1, K: 1}}},
+		"bond range":    {LJTypes: lj, Atoms: mkAtoms(2), Bonds: []Bond{{I: 0, J: 5, R0: 0.1, K: 1}}},
+		"bond params":   {LJTypes: lj, Atoms: mkAtoms(2), Bonds: []Bond{{I: 0, J: 1, R0: 0, K: 1}}},
+		"angle repeat":  {LJTypes: lj, Atoms: mkAtoms(3), Angles: []Angle{{I: 0, J: 0, K: 2}}},
+		"dihedral rep":  {LJTypes: lj, Atoms: mkAtoms(4), Dihedrals: []Dihedral{{I: 0, J: 1, K: 1, L: 3, Mult: 1}}},
+		"dihedral mult": {LJTypes: lj, Atoms: mkAtoms(4), Dihedrals: []Dihedral{{I: 0, J: 1, K: 2, L: 3, Mult: 0}}},
+		"bad exclusion": {LJTypes: lj, Atoms: mkAtoms(2), Exclusions: make([][]int, 5)},
+	}
+	for name, top := range cases {
+		if err := top.Validate(); err == nil {
+			t.Errorf("Validate should reject %q", name)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	top := &Topology{
+		LJTypes: []LJType{{Name: "A", Sigma: 0.3, Epsilon: 1}},
+		Atoms: []Atom{
+			{Type: 0, Mass: 10}, {Type: 0, Mass: 10}, {Type: 0, Mass: 10}, {Type: 0, Mass: 10},
+		},
+		Bonds:     []Bond{{I: 0, J: 1, R0: 0.1, K: 100}, {I: 1, J: 2, R0: 0.1, K: 100}},
+		Angles:    []Angle{{I: 0, J: 1, K: 2, Theta0: 2, KForce: 10}},
+		Dihedrals: []Dihedral{{I: 0, J: 1, K: 2, L: 3, Phi0: 0, KForce: 1, Mult: 3}},
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	top := &Topology{
+		LJTypes: []LJType{{Name: "A", Sigma: 0.3, Epsilon: 1}},
+		Atoms:   []Atom{{Type: 0, Mass: 1}, {Type: 0, Mass: 1}, {Type: 0, Mass: 1}, {Type: 0, Mass: 1}},
+		Bonds:   []Bond{{I: 0, J: 1, R0: 0.1, K: 1}, {I: 1, J: 2, R0: 0.1, K: 1}},
+		Angles:  []Angle{{I: 0, J: 1, K: 2, Theta0: 2, KForce: 1}},
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1-2: (0,1), (1,2); 1-3 via angle: (0,2).
+	want := map[[2]int]bool{{0, 1}: true, {1, 2}: true, {0, 2}: true}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			got := top.Excluded(i, j)
+			if got != want[[2]int{i, j}] {
+				t.Errorf("Excluded(%d,%d) = %v", i, j, got)
+			}
+			if got != top.Excluded(j, i) {
+				t.Errorf("Excluded not symmetric for (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLJPairCombination(t *testing.T) {
+	top := &Topology{
+		LJTypes: []LJType{
+			{Name: "A", Sigma: 0.2, Epsilon: 1},
+			{Name: "B", Sigma: 0.4, Epsilon: 4},
+		},
+		Atoms: []Atom{{Type: 0, Mass: 1}, {Type: 1, Mass: 1}},
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Lorentz-Berthelot: sigma_AB = 0.3, eps_AB = 2.
+	c6, c12 := top.LJPair(0, 1)
+	s6 := math.Pow(0.3, 6)
+	if math.Abs(c6-4*2*s6) > 1e-12 {
+		t.Errorf("c6 = %v, want %v", c6, 4*2*s6)
+	}
+	if math.Abs(c12-4*2*s6*s6) > 1e-12 {
+		t.Errorf("c12 = %v", c12)
+	}
+	// Symmetry of the table.
+	c6ba, c12ba := top.LJPair(1, 0)
+	if c6 != c6ba || c12 != c12ba {
+		t.Error("LJ pair table not symmetric")
+	}
+	// The LJ minimum of the combined pair sits at 2^(1/6) sigma with depth eps.
+	rmin := 0.3 * math.Pow(2, 1.0/6)
+	v := c12/math.Pow(rmin, 12) - c6/math.Pow(rmin, 6)
+	if math.Abs(v+2) > 1e-9 {
+		t.Errorf("LJ minimum = %v, want -2", v)
+	}
+}
+
+func TestPropertyLJPairSymmetric(t *testing.T) {
+	f := func(s1, s2, e1, e2 float64) bool {
+		abs := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.3
+			}
+			return math.Mod(math.Abs(x), 1) + 0.05
+		}
+		top := &Topology{
+			LJTypes: []LJType{
+				{Sigma: abs(s1), Epsilon: abs(e1)},
+				{Sigma: abs(s2), Epsilon: abs(e2)},
+			},
+			Atoms: []Atom{{Type: 0, Mass: 1}, {Type: 1, Mass: 1}},
+		}
+		if err := top.Validate(); err != nil {
+			return false
+		}
+		a6, a12 := top.LJPair(0, 1)
+		b6, b12 := top.LJPair(1, 0)
+		return a6 == b6 && a12 == b12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLJFluid(t *testing.T) {
+	sys := validFluid(t, 100)
+	if sys.Top.NAtoms() != 100 || len(sys.Pos) != 100 {
+		t.Fatalf("atom count mismatch: %d top, %d pos", sys.Top.NAtoms(), len(sys.Pos))
+	}
+	// Density check: n / V == requested.
+	if d := 100 / sys.Box.Volume(); math.Abs(d-10) > 1e-9 {
+		t.Errorf("density = %v, want 10", d)
+	}
+	// All positions inside the box.
+	for i, p := range sys.Pos {
+		if w := sys.Box.Wrap(p); w.Sub(p).Norm() > 1e-12 {
+			t.Errorf("atom %d outside box: %v", i, p)
+		}
+	}
+	// No two atoms ridiculously close.
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if sys.Box.Dist(sys.Pos[i], sys.Pos[j]) < 0.05 {
+				t.Fatalf("atoms %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestLJFluidErrors(t *testing.T) {
+	if _, err := LJFluid(0, 1, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := LJFluid(10, 0, 1); err == nil {
+		t.Error("density=0 should fail")
+	}
+}
+
+func TestLJFluidDeterministic(t *testing.T) {
+	a := validFluid(t, 50)
+	b := validFluid(t, 50)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatal("LJFluid not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestWaterBox(t *testing.T) {
+	sys, err := WaterBox(27, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Top.NAtoms() != 81 {
+		t.Fatalf("NAtoms = %d, want 81", sys.Top.NAtoms())
+	}
+	if len(sys.Top.Bonds) != 54 || len(sys.Top.Angles) != 27 {
+		t.Fatalf("bonds=%d angles=%d", len(sys.Top.Bonds), len(sys.Top.Angles))
+	}
+	if q := sys.Top.TotalCharge(); math.Abs(q) > 1e-9 {
+		t.Errorf("water box net charge = %v", q)
+	}
+	// OH distances are the equilibrium bond length before any dynamics.
+	for _, b := range sys.Top.Bonds {
+		d := sys.Box.Dist(sys.Pos[b.I], sys.Pos[b.J])
+		if math.Abs(d-b.R0) > 1e-9 {
+			t.Fatalf("initial OH distance %v != R0 %v", d, b.R0)
+		}
+	}
+	// HOH angle near equilibrium.
+	a := sys.Top.Angles[0]
+	v1 := sys.Box.MinImage(sys.Pos[a.I], sys.Pos[a.J])
+	v2 := sys.Box.MinImage(sys.Pos[a.K], sys.Pos[a.J])
+	cos := v1.Dot(v2) / (v1.Norm() * v2.Norm())
+	if math.Abs(math.Acos(cos)-a.Theta0) > 1e-6 {
+		t.Errorf("initial HOH angle %v != Theta0 %v", math.Acos(cos), a.Theta0)
+	}
+}
+
+func TestWaterBoxErrors(t *testing.T) {
+	if _, err := WaterBox(0, 1); err == nil {
+		t.Error("nMol=0 should fail")
+	}
+}
+
+func TestPolymerChain(t *testing.T) {
+	sys, err := PolymerChain(35, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Top.NAtoms() != 35 {
+		t.Fatalf("NAtoms = %d", sys.Top.NAtoms())
+	}
+	if len(sys.Top.Bonds) != 34 || len(sys.Top.Angles) != 33 {
+		t.Fatalf("bonds=%d angles=%d", len(sys.Top.Bonds), len(sys.Top.Angles))
+	}
+	// Consecutive beads exactly bondLen apart at start.
+	for _, b := range sys.Top.Bonds {
+		d := sys.Pos[b.I].Dist(sys.Pos[b.J])
+		if math.Abs(d-b.R0) > 1e-9 {
+			t.Fatalf("initial bond length %v != %v", d, b.R0)
+		}
+	}
+	if _, err := PolymerChain(1, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	sys := validFluid(t, 10)
+	if m := sys.Top.TotalMass(); math.Abs(m-399.48) > 1e-9 {
+		t.Errorf("TotalMass = %v", m)
+	}
+	if sys.Top.DegreesOfFreedom() != 27 {
+		t.Errorf("DOF = %d, want 27", sys.Top.DegreesOfFreedom())
+	}
+}
+
+func TestDegreesOfFreedomFloor(t *testing.T) {
+	top := &Topology{
+		LJTypes: []LJType{{Sigma: 0.3, Epsilon: 1}},
+		Atoms:   []Atom{{Type: 0, Mass: 1}},
+	}
+	if top.DegreesOfFreedom() < 1 {
+		t.Error("DOF must be at least 1")
+	}
+}
+
+func TestPeptide(t *testing.T) {
+	sys, err := Peptide(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Top.NAtoms() != 12 {
+		t.Fatalf("NAtoms = %d", sys.Top.NAtoms())
+	}
+	if len(sys.Top.Bonds) != 11 || len(sys.Top.Angles) != 10 || len(sys.Top.Dihedrals) != 9 {
+		t.Fatalf("terms: %d bonds, %d angles, %d dihedrals",
+			len(sys.Top.Bonds), len(sys.Top.Angles), len(sys.Top.Dihedrals))
+	}
+	// Initial geometry honours bond lengths and angles.
+	for _, b := range sys.Top.Bonds {
+		if d := sys.Pos[b.I].Dist(sys.Pos[b.J]); math.Abs(d-b.R0) > 1e-6 {
+			t.Fatalf("bond %d-%d length %v != %v", b.I, b.J, d, b.R0)
+		}
+	}
+	for _, a := range sys.Top.Angles {
+		v1 := sys.Pos[a.I].Sub(sys.Pos[a.J])
+		v2 := sys.Pos[a.K].Sub(sys.Pos[a.J])
+		theta := math.Acos(v1.Dot(v2) / (v1.Norm() * v2.Norm()))
+		if math.Abs(theta-a.Theta0) > 1e-4 {
+			t.Fatalf("angle at %d is %v, want %v", a.J, theta, a.Theta0)
+		}
+	}
+	// Alternating partial charges sum to zero for even n.
+	if q := sys.Top.TotalCharge(); math.Abs(q) > 1e-12 {
+		t.Errorf("net charge = %v", q)
+	}
+	if _, err := Peptide(3, 1); err == nil {
+		t.Error("n=3 should fail")
+	}
+}

@@ -1,0 +1,265 @@
+// Package wire defines the message vocabulary and framing of the Copernicus
+// overlay protocol: command specifications and results, worker announcements,
+// workload assignments and heartbeats, together with a length-prefixed gob
+// codec used by every transport.
+//
+// The protocol is request/response over reliable byte streams (the paper
+// chose SSL for the same reason); every payload is a gob-encoded struct from
+// this package, carried inside an Envelope that supports TTL-limited
+// store-and-forward routing across the server overlay.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion guards against mixed-version overlays.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds a single frame; anything larger is rejected as
+// corrupt rather than allocated blindly.
+const MaxFrameBytes = 1 << 30
+
+// MsgType enumerates the request types a node can handle.
+type MsgType string
+
+// Message types. Requests flow toward servers; responses return on the same
+// stream.
+const (
+	// MsgAnnounce presents a worker's resources (WorkerInfo) and asks for a
+	// workload (Workload response, possibly empty).
+	MsgAnnounce MsgType = "announce"
+	// MsgResult returns a finished command's output (CommandResult).
+	MsgResult MsgType = "result"
+	// MsgHeartbeat reports liveness of a worker's running commands.
+	MsgHeartbeat MsgType = "heartbeat"
+	// MsgSubmit submits a new project (ProjectSubmit).
+	MsgSubmit MsgType = "submit"
+	// MsgStatus queries a project's status (ProjectStatusRequest →
+	// ProjectStatus).
+	MsgStatus MsgType = "status"
+	// MsgPing measures connectivity.
+	MsgPing MsgType = "ping"
+	// MsgWorkerFailed notifies a project server that a worker missed its
+	// heartbeats and its commands must be recovered (WorkerFailed).
+	MsgWorkerFailed MsgType = "workerfailed"
+)
+
+// Envelope is the routed unit: a typed request or response addressed to a
+// node (or to any server holding work, when To is empty).
+type Envelope struct {
+	Version   int
+	Type      MsgType
+	From, To  string // node IDs; empty To = "first server that can handle it"
+	RequestID uint64
+	IsReply   bool
+	TTL       int
+	Payload   []byte
+	Err       string // non-empty on error replies
+}
+
+// CommandSpec describes one simulation command: the unit of work a worker
+// executes. Payload is engine-specific (the "executable" plugins interpret
+// it); Checkpoint, when non-empty, lets a different worker resume a failed
+// command from its last saved state.
+type CommandSpec struct {
+	ID      string
+	Project string
+	// Origin is the node ID of the project-holding server; workers route
+	// results there through the overlay.
+	Origin     string
+	Type       string // executable name, e.g. "landscape-md"
+	MinCores   int
+	MaxCores   int
+	Priority   int
+	Payload    []byte
+	Checkpoint []byte
+}
+
+// Validate checks structural invariants of the spec.
+func (c *CommandSpec) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("wire: command has no ID")
+	}
+	if c.Project == "" {
+		return fmt.Errorf("wire: command %s has no project", c.ID)
+	}
+	if c.Type == "" {
+		return fmt.Errorf("wire: command %s has no executable type", c.ID)
+	}
+	if c.MinCores < 1 {
+		return fmt.Errorf("wire: command %s requires MinCores >= 1", c.ID)
+	}
+	if c.MaxCores < c.MinCores {
+		return fmt.Errorf("wire: command %s has MaxCores %d < MinCores %d", c.ID, c.MaxCores, c.MinCores)
+	}
+	return nil
+}
+
+// CommandResult is the outcome of executing a command.
+type CommandResult struct {
+	CommandID string
+	Project   string
+	WorkerID  string
+	OK        bool
+	// Partial marks an intermediate checkpoint report: the command is still
+	// running, but the server should retain Checkpoint so another worker
+	// can resume if this one dies (§2.3's hand-off).
+	Partial bool
+	Error   string
+	Output  []byte
+	// OutputPath, when non-empty, points to the output on a filesystem the
+	// server shares with the worker (matched by FSToken), avoiding the
+	// network copy — the paper's shared-filesystem optimisation.
+	OutputPath  string
+	Checkpoint  []byte // latest checkpoint, for hand-off on failure
+	CoresUsed   int
+	WallSeconds float64
+}
+
+// WorkerInfo announces a worker's resources and capabilities, mirroring the
+// paper's bootstrap handshake (architecture, cores, executables).
+type WorkerInfo struct {
+	ID          string
+	Platform    string // "smp", "mpi", ...
+	Cores       int
+	Executables []string
+	// FSToken identifies the filesystem the worker can exchange files on;
+	// servers with the same token accept results by path reference.
+	FSToken string
+}
+
+// Workload is a server's reply to an announcement: the set of commands the
+// worker should run and how many cores each gets.
+type Workload struct {
+	Commands []CommandSpec
+	// Cores[id] is the core count assigned to command id.
+	Cores map[string]int
+	// HeartbeatSeconds tells the worker how often to report.
+	HeartbeatSeconds float64
+	// SharedFS is set when the assigning server determined (by FSToken)
+	// that it shares a filesystem with the worker, so results may be
+	// passed by path reference instead of bytes.
+	SharedFS bool
+}
+
+// Heartbeat reports that a worker and its commands are alive. It is
+// intentionally tiny (the paper: "typically less than 200 bytes").
+type Heartbeat struct {
+	WorkerID   string
+	CommandIDs []string
+}
+
+// HeartbeatAck optionally carries command IDs the server wants aborted
+// (e.g. trajectories terminated by the adaptive controller).
+type HeartbeatAck struct {
+	AbortCommandIDs []string
+}
+
+// AnnounceRequest wraps a worker announcement. Relayed marks announcements
+// a server forwards into the overlay on a worker's behalf; a server whose
+// queue is empty declines relayed announcements (so the overlay keeps
+// searching) but answers direct ones with an empty workload.
+type AnnounceRequest struct {
+	Info    WorkerInfo
+	Relayed bool
+}
+
+// WorkerFailed reports a heartbeat timeout to a project server, listing the
+// affected commands so they can be requeued from their last checkpoints.
+type WorkerFailed struct {
+	WorkerID   string
+	CommandIDs []string
+}
+
+// ProjectSubmit creates a project on the receiving server.
+type ProjectSubmit struct {
+	Name       string
+	Controller string // controller plugin name
+	Params     []byte // controller-specific configuration
+}
+
+// ProjectStatusRequest queries one project by name.
+type ProjectStatusRequest struct {
+	Name string
+}
+
+// ProjectStatus is a monitoring snapshot.
+type ProjectStatus struct {
+	Name       string
+	Controller string
+	State      string
+	Queued     int
+	Running    int
+	Finished   int
+	Failed     int
+	Generation int
+	Note       string
+	Result     []byte // non-nil once the project has finished
+}
+
+// Marshal gob-encodes a payload struct.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes into v.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// WriteEnvelope frames and writes one envelope: a 4-byte big-endian length
+// followed by the gob encoding.
+func WriteEnvelope(w io.Writer, env *Envelope) error {
+	body, err := Marshal(env)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope reads one framed envelope.
+func ReadEnvelope(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	var env Envelope
+	if err := Unmarshal(body, &env); err != nil {
+		return nil, err
+	}
+	if env.Version != ProtocolVersion {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d", env.Version, ProtocolVersion)
+	}
+	return &env, nil
+}

@@ -1,0 +1,348 @@
+// Package worker implements the Copernicus worker client of §2.3: it
+// announces its resources (platform, cores, installed executables) to its
+// nearest server, receives a workload, executes the commands through the
+// engine plugins, streams heartbeats, reports partial checkpoints for
+// failover, and returns results to each command's project server through
+// the overlay.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"copernicus/internal/engines"
+	"copernicus/internal/overlay"
+	"copernicus/internal/wire"
+)
+
+// Config tunes a worker.
+type Config struct {
+	// Platform is the announced platform plugin name ("smp" by default).
+	Platform string
+	// Cores is the announced core count (default 1).
+	Cores int
+	// PollInterval is the idle re-announcement period (default 500 ms —
+	// batch systems would use seconds; tests use milliseconds).
+	PollInterval time.Duration
+	// RequestTimeout bounds each overlay request (default 10 s).
+	RequestTimeout time.Duration
+	// FSToken and SpoolDir enable the shared-filesystem result path: when
+	// the assigning server advertises the same token, results are written
+	// under SpoolDir and passed by reference.
+	FSToken  string
+	SpoolDir string
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Platform == "" {
+		c.Platform = "smp"
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Worker executes commands against a home server.
+type Worker struct {
+	node    *overlay.Node
+	home    string // node ID of the nearest server
+	engines map[string]engines.Engine
+	cfg     Config
+
+	mu      sync.Mutex
+	running map[string]context.CancelFunc
+
+	// Completed counts finished commands (for tests and monitoring).
+	completed int
+}
+
+// New creates a worker bound to an overlay node that is already connected
+// to its home server.
+func New(node *overlay.Node, home string, engs []engines.Engine, cfg Config) (*Worker, error) {
+	cfg.fill()
+	if home == "" {
+		return nil, fmt.Errorf("worker: home server ID required")
+	}
+	if len(engs) == 0 {
+		return nil, fmt.Errorf("worker: no engines installed")
+	}
+	w := &Worker{
+		node:    node,
+		home:    home,
+		engines: make(map[string]engines.Engine, len(engs)),
+		cfg:     cfg,
+		running: make(map[string]context.CancelFunc),
+	}
+	for _, e := range engs {
+		if _, dup := w.engines[e.Name()]; dup {
+			return nil, fmt.Errorf("worker: duplicate engine %q", e.Name())
+		}
+		w.engines[e.Name()] = e
+	}
+	return w, nil
+}
+
+// ID returns the worker's overlay node ID.
+func (w *Worker) ID() string { return w.node.ID() }
+
+// Completed returns the number of commands this worker has finished.
+func (w *Worker) Completed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.completed
+}
+
+// info builds the announcement payload.
+func (w *Worker) info() wire.WorkerInfo {
+	names := make([]string, 0, len(w.engines))
+	for n := range w.engines {
+		names = append(names, n)
+	}
+	return wire.WorkerInfo{
+		ID:          w.node.ID(),
+		Platform:    w.cfg.Platform,
+		Cores:       w.cfg.Cores,
+		Executables: names,
+		FSToken:     w.cfg.FSToken,
+	}
+}
+
+// Run announces, executes and reports until ctx is cancelled. It returns
+// ctx.Err() on cancellation, or the first fatal protocol error.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		wl, err := w.announce()
+		if err != nil {
+			w.cfg.Logf("worker %s: announce: %v", w.ID(), err)
+			if !sleepCtx(ctx, w.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if len(wl.Commands) == 0 {
+			if !sleepCtx(ctx, w.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.execute(ctx, wl)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// announce sends the resource announcement and decodes the workload.
+func (w *Worker) announce() (*wire.Workload, error) {
+	payload, err := wire.Marshal(&wire.AnnounceRequest{Info: w.info()})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := w.node.Request(w.home, wire.MsgAnnounce, payload, w.cfg.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var wl wire.Workload
+	if err := wire.Unmarshal(reply, &wl); err != nil {
+		return nil, err
+	}
+	return &wl, nil
+}
+
+// execute runs a workload: one goroutine per command plus a heartbeat
+// ticker, blocking until every command has completed or aborted.
+func (w *Worker) execute(ctx context.Context, wl *wire.Workload) {
+	var wg sync.WaitGroup
+	ids := make([]string, 0, len(wl.Commands))
+	for _, cmd := range wl.Commands {
+		ids = append(ids, cmd.ID)
+	}
+
+	hbStop := make(chan struct{})
+	hbInterval := time.Duration(wl.HeartbeatSeconds * float64(time.Second))
+	if hbInterval <= 0 {
+		hbInterval = 120 * time.Second
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(ctx, hbStop, hbInterval, ids)
+	}()
+
+	var cmdWg sync.WaitGroup
+	for _, cmd := range wl.Commands {
+		cmdWg.Add(1)
+		go func(cmd wire.CommandSpec) {
+			defer cmdWg.Done()
+			w.runCommand(ctx, cmd, wl.Cores[cmd.ID], wl.SharedFS)
+		}(cmd)
+	}
+	cmdWg.Wait()
+	close(hbStop)
+	wg.Wait()
+}
+
+// heartbeatLoop reports liveness and processes abort instructions.
+func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}, interval time.Duration, ids []string) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		live := make([]string, 0, len(ids))
+		for _, id := range ids {
+			if _, ok := w.running[id]; ok {
+				live = append(live, id)
+			}
+		}
+		w.mu.Unlock()
+		payload, err := wire.Marshal(&wire.Heartbeat{WorkerID: w.ID(), CommandIDs: live})
+		if err != nil {
+			continue
+		}
+		reply, err := w.node.Request(w.home, wire.MsgHeartbeat, payload, w.cfg.RequestTimeout)
+		if err != nil {
+			w.cfg.Logf("worker %s: heartbeat: %v", w.ID(), err)
+			continue
+		}
+		var ack wire.HeartbeatAck
+		if err := wire.Unmarshal(reply, &ack); err != nil {
+			continue
+		}
+		for _, id := range ack.AbortCommandIDs {
+			w.mu.Lock()
+			cancel := w.running[id]
+			w.mu.Unlock()
+			if cancel != nil {
+				w.cfg.Logf("worker %s: aborting terminated command %s", w.ID(), id)
+				cancel()
+			}
+		}
+	}
+}
+
+// runCommand executes one command and reports its result to the project
+// server.
+func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int, sharedFS bool) {
+	if cores <= 0 {
+		cores = cmd.MinCores
+	}
+	eng := w.engines[cmd.Type]
+	res := wire.CommandResult{
+		CommandID: cmd.ID,
+		Project:   cmd.Project,
+		WorkerID:  w.ID(),
+		CoresUsed: cores,
+	}
+	if eng == nil {
+		res.Error = fmt.Sprintf("worker: no engine for %q", cmd.Type)
+		w.sendResult(cmd.Origin, &res)
+		return
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.mu.Lock()
+	w.running[cmd.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.running, cmd.ID)
+		w.mu.Unlock()
+	}()
+
+	progress := func(checkpoint []byte) {
+		partial := wire.CommandResult{
+			CommandID:  cmd.ID,
+			Project:    cmd.Project,
+			WorkerID:   w.ID(),
+			OK:         true,
+			Partial:    true,
+			Checkpoint: checkpoint,
+		}
+		w.sendResult(cmd.Origin, &partial)
+	}
+
+	start := time.Now()
+	output, err := eng.Run(runCtx, cmd, cores, progress)
+	res.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Terminated by the controller: nothing to report.
+			return
+		}
+		res.Error = err.Error()
+		w.sendResult(cmd.Origin, &res)
+		return
+	}
+	res.OK = true
+	if sharedFS && w.cfg.SpoolDir != "" {
+		if path, werr := w.spoolOutput(cmd.ID, output); werr == nil {
+			res.OutputPath = path
+		} else {
+			res.Output = output
+		}
+	} else {
+		res.Output = output
+	}
+	w.sendResult(cmd.Origin, &res)
+	w.mu.Lock()
+	w.completed++
+	w.mu.Unlock()
+}
+
+// spoolOutput writes output to the shared filesystem and returns its path.
+func (w *Worker) spoolOutput(cmdID string, output []byte) (string, error) {
+	if err := os.MkdirAll(w.cfg.SpoolDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(w.cfg.SpoolDir, cmdID+".out")
+	if err := os.WriteFile(path, output, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sendResult routes a result to the project server, falling back to anycast
+// if the origin is unknown.
+func (w *Worker) sendResult(origin string, res *wire.CommandResult) {
+	payload, err := wire.Marshal(res)
+	if err != nil {
+		w.cfg.Logf("worker %s: encoding result: %v", w.ID(), err)
+		return
+	}
+	if _, err := w.node.Request(origin, wire.MsgResult, payload, w.cfg.RequestTimeout); err != nil {
+		w.cfg.Logf("worker %s: sending result for %s: %v", w.ID(), res.CommandID, err)
+	}
+}

@@ -1,0 +1,29 @@
+# Convenience targets; scripts/ci.sh is the canonical gate.
+GO ?= go
+
+.PHONY: all build vet test race ci bench fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled tests for the concurrency-heavy packages.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/server/... \
+		./internal/worker/... ./internal/queue/... ./internal/overlay/...
+
+ci:
+	sh scripts/ci.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+fmt:
+	gofmt -w ./cmd ./internal ./examples *.go

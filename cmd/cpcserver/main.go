@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"copernicus/internal/controller"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/server"
 )
@@ -36,9 +37,23 @@ func main() {
 	seed := flag.Uint64("seed", 0, "deterministic identity seed (0 = random identity)")
 	heartbeat := flag.Duration("heartbeat", 120*time.Second, "worker heartbeat interval")
 	monitor := flag.String("monitor", "", "HTTP monitoring address (e.g. :8080); empty disables")
+	metricsAddr := flag.String("metrics-addr", "", "standalone /metrics+/debug address (e.g. :9090); empty disables (the -monitor handler always includes them)")
+	logLevel := flag.String("log-level", "", "log level: debug, info, warn, error, off (empty = off; -v = debug)")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token (enables by-path result exchange)")
-	verbose := flag.Bool("v", false, "verbose logging")
+	verbose := flag.Bool("v", false, "verbose logging (shorthand for -log-level debug)")
 	flag.Parse()
+
+	level := obs.LevelOff
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *logLevel != "" {
+		var err error
+		if level, err = obs.ParseLevel(*logLevel); err != nil {
+			log.Fatalf("-log-level: %v", err)
+		}
+	}
+	o := obs.NewWith(obs.Options{LogWriter: os.Stderr, LogLevel: level})
 
 	var id *overlay.Identity
 	if *seed != 0 {
@@ -56,20 +71,14 @@ func main() {
 		log.Fatalf("tls transport: %v", err)
 	}
 	node := overlay.NewNode(id, trust, tr)
-	if *verbose {
-		node.Logf = log.Printf
-	}
+	node.Obs = o
 	if err := node.Listen(*listen); err != nil {
 		log.Fatalf("listen %s: %v", *listen, err)
-	}
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = log.Printf
 	}
 	srv := server.New(node, controller.DefaultRegistry(), server.Config{
 		HeartbeatInterval: *heartbeat,
 		FSToken:           *fsToken,
-		Logf:              logf,
+		Obs:               o,
 	})
 	defer srv.Close()
 	defer node.Close()
@@ -80,6 +89,14 @@ func main() {
 			fmt.Printf("cpcserver: monitoring interface on http://%s/\n", *monitor)
 			if err := http.ListenAndServe(*monitor, srv.MonitorHandler()); err != nil {
 				log.Printf("cpcserver: monitor: %v", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		go func() {
+			fmt.Printf("cpcserver: metrics on http://%s/metrics\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, o.Handler()); err != nil {
+				log.Printf("cpcserver: metrics: %v", err)
 			}
 		}()
 	}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"copernicus/internal/engines"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/worker"
 )
@@ -34,8 +36,22 @@ func main() {
 	poll := flag.Duration("poll", 2*time.Second, "idle re-announce interval")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token")
 	spool := flag.String("spool", "", "shared-filesystem spool directory")
-	verbose := flag.Bool("v", false, "verbose logging")
+	metricsAddr := flag.String("metrics-addr", "", "standalone /metrics+/debug address (e.g. :9091); empty disables")
+	logLevel := flag.String("log-level", "", "log level: debug, info, warn, error, off (empty = off; -v = debug)")
+	verbose := flag.Bool("v", false, "verbose logging (shorthand for -log-level debug)")
 	flag.Parse()
+
+	level := obs.LevelOff
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *logLevel != "" {
+		var perr error
+		if level, perr = obs.ParseLevel(*logLevel); perr != nil {
+			log.Fatalf("-log-level: %v", perr)
+		}
+	}
+	o := obs.NewWith(obs.Options{LogWriter: os.Stderr, LogLevel: level})
 
 	id, err := overlay.NewIdentity()
 	if err != nil {
@@ -47,15 +63,12 @@ func main() {
 		log.Fatalf("tls transport: %v", err)
 	}
 	node := overlay.NewNode(id, trust, tr)
+	node.Obs = o
 	defer node.Close()
 
 	home, err := node.ConnectPeer(*serverAddr)
 	if err != nil {
 		log.Fatalf("connecting to %s: %v", *serverAddr, err)
-	}
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = log.Printf
 	}
 	wk, err := worker.New(node, home, engines.Default(), worker.Config{
 		Platform:     *platform,
@@ -63,13 +76,21 @@ func main() {
 		PollInterval: *poll,
 		FSToken:      *fsToken,
 		SpoolDir:     *spool,
-		Logf:         logf,
+		Obs:          o,
 	})
 	if err != nil {
 		log.Fatalf("creating worker: %v", err)
 	}
 	fmt.Printf("cpcworker: %s attached to server %s (%d cores, platform %s)\n",
 		wk.ID(), home, *cores, *platform)
+	if *metricsAddr != "" {
+		go func() {
+			fmt.Printf("cpcworker: metrics on http://%s/metrics\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, o.Handler()); err != nil {
+				log.Printf("cpcworker: metrics: %v", err)
+			}
+		}()
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	sig := make(chan os.Signal, 1)

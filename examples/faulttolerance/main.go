@@ -17,10 +17,12 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"copernicus/internal/controller"
 	"copernicus/internal/engines"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/server"
 	"copernicus/internal/wire"
@@ -101,9 +103,7 @@ func main() {
 	}
 	srv := server.New(sNode, reg, server.Config{
 		HeartbeatInterval: 300 * time.Millisecond,
-		Logf: func(format string, args ...any) {
-			fmt.Printf("    server: "+format+"\n", args...)
-		},
+		Obs:               obs.NewWith(obs.Options{LogWriter: os.Stdout, LogLevel: obs.LevelInfo}),
 	})
 	defer srv.Close()
 	defer sNode.Close()

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"copernicus/internal/obs"
 	"copernicus/internal/wire"
 )
 
@@ -42,6 +43,10 @@ type Context interface {
 	Seed() uint64
 	// Logf emits a diagnostic line.
 	Logf(format string, args ...any)
+	// Obs returns the server's observability bundle so controllers can
+	// record their own metrics and spans (generation durations, states
+	// discovered per round, ...). Never nil.
+	Obs() *obs.Obs
 }
 
 // Controller is a project plugin. Handlers are invoked serially per project

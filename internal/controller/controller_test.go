@@ -9,6 +9,7 @@ import (
 
 	"copernicus/internal/engines"
 	"copernicus/internal/msm"
+	"copernicus/internal/obs"
 	"copernicus/internal/wire"
 )
 
@@ -26,6 +27,7 @@ type fakeCtx struct {
 	finished   bool
 	failedErr  error
 	seed       uint64
+	obs        *obs.Obs
 }
 
 func newFakeCtx(t *testing.T) *fakeCtx {
@@ -34,6 +36,7 @@ func newFakeCtx(t *testing.T) *fakeCtx {
 		engs:       make(map[string]engines.Engine),
 		terminated: make(map[string]bool),
 		seed:       7,
+		obs:        obs.New(),
 	}
 	for _, e := range engines.Default() {
 		c.engs[e.Name()] = e
@@ -44,6 +47,7 @@ func newFakeCtx(t *testing.T) *fakeCtx {
 func (c *fakeCtx) ProjectName() string { return "test" }
 func (c *fakeCtx) Seed() uint64        { return c.seed }
 func (c *fakeCtx) Logf(string, ...any) {}
+func (c *fakeCtx) Obs() *obs.Obs       { return c.obs }
 func (c *fakeCtx) Submit(cmd wire.CommandSpec) error {
 	cmd.Project = "test"
 	cmd.Origin = "origin"

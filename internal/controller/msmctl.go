@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"copernicus/internal/engines"
 	"copernicus/internal/landscape"
 	"copernicus/internal/msm"
+	"copernicus/internal/obs"
 	"copernicus/internal/rng"
 	"copernicus/internal/stats"
 	"copernicus/internal/wire"
@@ -192,6 +194,9 @@ type MSMController struct {
 	// c.p.SegmentsPerGen may shrink within a generation when commands fail
 	// terminally, and is restored from segTarget at each generation start.
 	segTarget int
+	// genStart marks when the current generation's cohort was launched, so
+	// clusterAndRespawn can report the generation's wall time.
+	genStart time.Time
 }
 
 // NewMSMController returns an uninitialised MSM controller; Start must run
@@ -234,6 +239,7 @@ func (c *MSMController) Start(ctx Context, params []byte) error {
 			}
 		}
 	}
+	c.genStart = time.Now()
 	ctx.SetStatus(0, fmt.Sprintf("generation 0: %d trajectories launched", len(c.trajs)))
 	return nil
 }
@@ -428,6 +434,7 @@ func (c *MSMController) clusterAndRespawn(ctx Context) error {
 	lastGen := c.gen == c.p.Generations-1
 	if lastGen {
 		c.stats = append(c.stats, gs)
+		c.observeGeneration(ctx, gs)
 		ctx.SetStatus(c.gen, "final analysis")
 		return c.finish(ctx, clu, rt, mapping)
 	}
@@ -441,6 +448,7 @@ func (c *MSMController) clusterAndRespawn(ctx Context) error {
 	}
 	gs.SpawnedStates = len(spawn)
 	c.stats = append(c.stats, gs)
+	c.observeGeneration(ctx, gs)
 
 	// Terminate old trajectories ("simulations in well-explored regions
 	// terminated") and start the new cohort from cluster representatives.
@@ -466,6 +474,36 @@ func (c *MSMController) clusterAndRespawn(ctx Context) error {
 	ctx.SetStatus(c.gen, fmt.Sprintf("generation %d: spawned %d trajectories from %d states (min RMSD %.2f Å)",
 		c.gen, total, len(spawn), c.minRMSD))
 	return nil
+}
+
+// observeGeneration publishes the finished generation's duration, state
+// count and spawn fan-out to the server's metrics registry and trace, then
+// restarts the generation clock for the next cohort.
+func (c *MSMController) observeGeneration(ctx Context, gs GenerationStats) {
+	o := ctx.Obs()
+	dur := time.Since(c.genStart)
+	l := obs.L("project", ctx.ProjectName(), "controller", MSMControllerName)
+	o.Metrics.Histogram("copernicus_generation_seconds",
+		"Wall time of each adaptive-sampling generation.",
+		obs.DefBuckets(), l).Observe(dur.Seconds())
+	o.Metrics.Counter("copernicus_generations_total",
+		"Adaptive-sampling generations completed.", l).Inc()
+	o.Metrics.Gauge("copernicus_msm_states",
+		"Markov states in the largest connected set at the latest generation.", l).
+		Set(float64(gs.States))
+	o.Trace.Record(obs.Span{
+		Stage:    obs.StageController,
+		Project:  ctx.ProjectName(),
+		Start:    c.genStart,
+		Duration: dur,
+		Attrs: map[string]string{
+			"event":          "generation",
+			"generation":     fmt.Sprint(gs.Generation),
+			"states":         fmt.Sprint(gs.States),
+			"spawned_states": fmt.Sprint(gs.SpawnedStates),
+		},
+	})
+	c.genStart = time.Now()
 }
 
 // allFrames gathers every stored frame across all trajectories.

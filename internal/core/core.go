@@ -16,6 +16,7 @@ import (
 
 	"copernicus/internal/controller"
 	"copernicus/internal/engines"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/server"
 	"copernicus/internal/wire"
@@ -48,8 +49,12 @@ type FabricConfig struct {
 	// when non-empty; SpoolDir is where outputs are exchanged.
 	FSToken  string
 	SpoolDir string
-	// Logf receives diagnostics from every component.
-	Logf func(format string, args ...any)
+	// Obs is the observability bundle shared by every component in the
+	// fabric — one metrics registry, one span tracer, one logger — so a
+	// command's whole lifecycle (submit → queue → dispatch → run → result →
+	// controller) lands in a single trace. nil means a fresh silent bundle,
+	// reachable afterwards as Fabric.Obs.
+	Obs *obs.Obs
 }
 
 func (c *FabricConfig) fill() {
@@ -74,8 +79,8 @@ func (c *FabricConfig) fill() {
 	if c.Registry == nil {
 		c.Registry = controller.DefaultRegistry()
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Obs == nil {
+		c.Obs = obs.New()
 	}
 }
 
@@ -84,6 +89,10 @@ type Fabric struct {
 	Net     *overlay.MemNetwork
 	Servers []*server.Server
 	Workers []*worker.Worker
+	// Obs is the bundle shared by every node, server and worker; serve
+	// Obs.Handler() (or any server's MonitorHandler) to expose /metrics and
+	// /debug/trace for the whole fabric.
+	Obs *obs.Obs
 
 	nodes  []*overlay.Node
 	client *overlay.Node
@@ -96,7 +105,7 @@ type Fabric struct {
 // node connected to the project server.
 func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	cfg.fill()
-	f := &Fabric{Net: overlay.NewMemNetwork()}
+	f := &Fabric{Net: overlay.NewMemNetwork(), Obs: cfg.Obs}
 	f.Net.Latency = cfg.Latency
 	tr := f.Net.Transport()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -106,7 +115,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	newNode := func() *overlay.Node {
 		seed++
 		n := overlay.NewNode(overlay.NewIdentityFromSeed(seed), overlay.NewTrustStore(), tr)
-		n.Logf = cfg.Logf
+		n.Obs = cfg.Obs
 		f.nodes = append(f.nodes, n)
 		return n
 	}
@@ -129,7 +138,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			HeartbeatInterval: cfg.Heartbeat,
 			RelayTimeout:      2 * time.Second,
 			FSToken:           cfg.FSToken,
-			Logf:              cfg.Logf,
+			Obs:               cfg.Obs,
 		})
 		f.Servers = append(f.Servers, srv)
 	}
@@ -147,7 +156,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			PollInterval: cfg.Poll,
 			FSToken:      cfg.FSToken,
 			SpoolDir:     cfg.SpoolDir,
-			Logf:         cfg.Logf,
+			Obs:          cfg.Obs,
 		})
 		if err != nil {
 			f.Close()

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObsHandlerEndpoints(t *testing.T) {
+	o := New()
+	o.Metrics.Counter("copernicus_test_total", "", nil).Inc()
+	o.Trace.Record(Span{Stage: StageRun, Command: "c1"})
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+	resp := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if resp := get("/debug/trace"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/trace = %d", resp.StatusCode)
+	}
+	if resp := get("/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+
+	// Writes are rejected on the guarded endpoints.
+	for _, path := range []string{"/metrics", "/debug/trace"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("POST %s Allow = %q", path, allow)
+		}
+	}
+}
+
+func TestNamedSharesMetricsAndTrace(t *testing.T) {
+	o := New()
+	child := o.Named("server")
+	if child.Metrics != o.Metrics || child.Trace != o.Trace {
+		t.Fatal("Named must share the registry and tracer")
+	}
+}
+
+func TestNilObsNamed(t *testing.T) {
+	var o *Obs
+	if o.Named("x") != nil {
+		t.Fatal("nil Obs should stay nil through Named")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"copernicus/internal/obs"
 	"copernicus/internal/wire"
 )
 
@@ -51,14 +52,20 @@ type Node struct {
 	seen      *seenCache
 	wg        sync.WaitGroup
 
-	// Logf receives diagnostic messages; defaults to a silent logger.
-	Logf func(format string, args ...any)
+	// Obs receives diagnostics, per-peer traffic metrics and request
+	// latencies; defaults to a silent obs.New(). Set it (or share a
+	// deployment-wide bundle) before Listen/ConnectPeer.
+	Obs *obs.Obs
 }
 
 type peerLink struct {
 	id   string
 	conn net.Conn
 	wmu  sync.Mutex
+
+	// Per-peer traffic series, resolved once at addPeer.
+	rxMsgs, txMsgs   *obs.Counter
+	rxBytes, txBytes *obs.Counter
 }
 
 func (p *peerLink) send(env *wire.Envelope) error {
@@ -77,11 +84,14 @@ func NewNode(id *Identity, trust *TrustStore, tr Transport) *Node {
 		handlers: make(map[wire.MsgType]Handler),
 		pending:  make(map[uint64]chan *wire.Envelope),
 		seen:     newSeenCache(4096),
-		Logf:     func(string, ...any) {},
+		Obs:      obs.New(),
 	}
 	n.reqID.Store(uint64(time.Now().UnixNano()) << 20)
 	return n
 }
+
+// log returns the overlay-tagged logger.
+func (n *Node) log() *obs.Logger { return n.Obs.Log.Named("overlay") }
 
 // ID returns the node's overlay ID.
 func (n *Node) ID() string { return n.id.ID }
@@ -122,7 +132,7 @@ func (n *Node) Listen(addr string) error {
 			go func() {
 				defer n.wg.Done()
 				if err := n.handleInbound(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-					n.Logf("overlay %s: inbound connection: %v", n.id.ID, err)
+					n.log().Warn("inbound connection failed", "node", n.id.ID, "err", err)
 				}
 			}()
 		}
@@ -214,7 +224,7 @@ func (n *Node) ConnectPeer(addr string) (string, error) {
 	go func() {
 		defer n.wg.Done()
 		if err := n.runPeer(link); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-			n.Logf("overlay %s: peer %s: %v", n.id.ID, peerID, err)
+			n.log().Warn("peer link failed", "node", n.id.ID, "peer", peerID, "err", err)
 		}
 	}()
 	return peerID, nil
@@ -224,6 +234,17 @@ func (n *Node) ConnectPeer(addr string) (string, error) {
 // stale link with the same ID.
 func (n *Node) addPeer(peerID string, conn net.Conn) (*peerLink, error) {
 	link := &peerLink{id: peerID, conn: conn}
+	const (
+		msgsName  = "copernicus_overlay_messages_total"
+		msgsHelp  = "Envelopes exchanged with a peer, by direction."
+		bytesName = "copernicus_overlay_payload_bytes_total"
+		bytesHelp = "Envelope payload bytes exchanged with a peer, by direction."
+	)
+	m := n.Obs.Metrics
+	link.rxMsgs = m.Counter(msgsName, msgsHelp, obs.L("node", n.id.ID, "peer", peerID, "dir", "rx"))
+	link.txMsgs = m.Counter(msgsName, msgsHelp, obs.L("node", n.id.ID, "peer", peerID, "dir", "tx"))
+	link.rxBytes = m.Counter(bytesName, bytesHelp, obs.L("node", n.id.ID, "peer", peerID, "dir", "rx"))
+	link.txBytes = m.Counter(bytesName, bytesHelp, obs.L("node", n.id.ID, "peer", peerID, "dir", "tx"))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -252,6 +273,8 @@ func (n *Node) runPeer(link *peerLink) error {
 		if err != nil {
 			return err
 		}
+		link.rxMsgs.Inc()
+		link.rxBytes.Add(uint64(len(env.Payload)))
 		n.route(env, link.id)
 	}
 }
@@ -303,6 +326,12 @@ func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.D
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
+	start := time.Now()
+	defer func() {
+		n.Obs.Metrics.Histogram("copernicus_overlay_request_seconds",
+			"Round-trip latency of overlay requests, by message type.",
+			nil, obs.L("node", n.id.ID, "type", string(t))).Observe(time.Since(start).Seconds())
+	}()
 	id := n.reqID.Add(1)
 	ch := make(chan *wire.Envelope, 1)
 	n.mu.Lock()
@@ -339,6 +368,9 @@ func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.D
 		}
 		return reply.Payload, nil
 	case <-time.After(timeout):
+		n.Obs.Metrics.Counter("copernicus_overlay_request_timeouts_total",
+			"Overlay requests that hit their deadline, by message type.",
+			obs.L("node", n.id.ID, "type", string(t))).Inc()
 		return nil, fmt.Errorf("overlay: request %v to %q timed out after %v", t, to, timeout)
 	}
 }
@@ -351,15 +383,17 @@ func (n *Node) route(env *wire.Envelope, origin string) {
 
 	if env.IsReply {
 		if env.To == n.id.ID {
+			// Deliver while holding the read lock: Close swaps the pending
+			// map under the write lock before closing the channels, so a
+			// send that found ch here can never race the close.
 			n.mu.RLock()
-			ch := n.pending[env.RequestID]
-			n.mu.RUnlock()
-			if ch != nil {
+			if ch := n.pending[env.RequestID]; ch != nil {
 				select {
 				case ch <- env:
 				default:
 				}
 			}
+			n.mu.RUnlock()
 			return
 		}
 		n.forward(env, origin)
@@ -412,8 +446,11 @@ func (n *Node) reply(req *wire.Envelope, payload []byte, err error, origin strin
 	n.mu.RUnlock()
 	if link != nil {
 		if sendErr := link.send(rep); sendErr == nil {
+			link.txMsgs.Inc()
+			link.txBytes.Add(uint64(len(rep.Payload)))
 			return
 		}
+		n.sendErrors().Inc()
 	}
 	n.forward(rep, "")
 }
@@ -436,9 +473,19 @@ func (n *Node) forward(env *wire.Envelope, origin string) {
 	n.mu.RUnlock()
 	for _, p := range links {
 		if err := p.send(&out); err != nil {
-			n.Logf("overlay %s: forwarding to %s: %v", n.id.ID, p.id, err)
+			n.sendErrors().Inc()
+			n.log().Warn("forwarding failed", "node", n.id.ID, "peer", p.id, "err", err)
+			continue
 		}
+		p.txMsgs.Inc()
+		p.txBytes.Add(uint64(len(out.Payload)))
 	}
+}
+
+// sendErrors returns the overlay send-error counter.
+func (n *Node) sendErrors() *obs.Counter {
+	return n.Obs.Metrics.Counter("copernicus_overlay_errors_total",
+		"Failed envelope sends to peers.", obs.L("node", n.id.ID))
 }
 
 // seenCache deduplicates flooded envelopes with a bounded FIFO set.

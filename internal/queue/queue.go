@@ -9,7 +9,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"time"
 
+	"copernicus/internal/obs"
 	"copernicus/internal/wire"
 )
 
@@ -20,6 +22,12 @@ type Queue struct {
 	items pq
 	byID  map[string]*item
 	seq   uint64
+
+	// Optional instrumentation, wired by SetObs; nil-safe to use unset.
+	pushes       *obs.Counter
+	matched      *obs.Counter
+	emptyMatches *obs.Counter
+	matchSeconds *obs.Histogram
 }
 
 type item struct {
@@ -31,6 +39,28 @@ type item struct {
 // New returns an empty queue.
 func New() *Queue {
 	return &Queue{byID: make(map[string]*item)}
+}
+
+// SetObs wires queue metrics into o: a depth gauge sampled at exposition
+// time, push/match counters, and a match-latency histogram. labels
+// distinguish this queue's series when several queues share a registry
+// (servers pass their node ID). Call before traffic arrives.
+func (q *Queue) SetObs(o *obs.Obs, labels obs.Labels) {
+	if o == nil {
+		return
+	}
+	o.Metrics.GaugeFunc("copernicus_queue_depth",
+		"Commands waiting for a worker.", labels,
+		func() float64 { return float64(q.Len()) })
+	q.pushes = o.Metrics.Counter("copernicus_queue_pushes_total",
+		"Commands enqueued (including requeues after worker failures).", labels)
+	q.matched = o.Metrics.Counter("copernicus_queue_matched_total",
+		"Commands handed to workers by the resource matcher.", labels)
+	q.emptyMatches = o.Metrics.Counter("copernicus_queue_empty_matches_total",
+		"Worker announcements the local queue could not serve.", labels)
+	q.matchSeconds = o.Metrics.Histogram("copernicus_queue_match_seconds",
+		"Latency of the workload-assembly matcher.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}, labels)
 }
 
 // Push validates and enqueues a command. Duplicate IDs are rejected.
@@ -47,6 +77,7 @@ func (q *Queue) Push(cmd wire.CommandSpec) error {
 	q.seq++
 	q.byID[cmd.ID] = it
 	heap.Push(&q.items, it)
+	q.pushes.Inc()
 	return nil
 }
 
@@ -87,6 +118,8 @@ func (q *Queue) Contains(id string) bool {
 // Matched commands are removed from the queue. An empty workload means the
 // queue holds nothing this worker can run.
 func (q *Queue) Match(info wire.WorkerInfo) wire.Workload {
+	start := time.Now()
+	defer func() { q.matchSeconds.Observe(time.Since(start).Seconds()) }()
 	canRun := make(map[string]bool, len(info.Executables))
 	for _, e := range info.Executables {
 		canRun[e] = true
@@ -139,6 +172,11 @@ func (q *Queue) Match(info wire.WorkerInfo) wire.Workload {
 	}
 	for _, it := range chosen {
 		wl.Commands = append(wl.Commands, it.cmd)
+	}
+	if len(chosen) == 0 {
+		q.emptyMatches.Inc()
+	} else {
+		q.matched.Add(uint64(len(chosen)))
 	}
 	return wl
 }

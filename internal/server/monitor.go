@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"copernicus/internal/obs"
 	"copernicus/internal/wire"
 )
 
@@ -74,27 +75,38 @@ func toMonitor(st wire.ProjectStatus) monitorStatus {
 // MonitorHandler returns the HTTP handler of the paper's real-time
 // monitoring interface:
 //
-//	GET /            human-readable overview
-//	GET /projects    JSON list of project statuses
-//	GET /projects/N  JSON status of project N
-//	GET /workers     JSON list of announced workers
-//	GET /healthz     liveness probe
+//	GET /                 human-readable overview
+//	GET /projects         JSON list of project statuses
+//	GET /projects/N       JSON status of project N
+//	GET /workers          JSON list of announced workers
+//	GET /healthz          liveness probe
+//	GET /metrics          Prometheus text exposition (queue depth, dispatch
+//	                      latency, per-worker command counters, ...)
+//	GET /debug/trace      command-lifecycle spans + per-stage quantiles
+//	GET /debug/pprof/...  runtime profiling
 //
-// Serve it with http.ListenAndServe(addr, s.MonitorHandler()) or mount it
-// under an existing mux; it performs no writes and needs no authentication
-// beyond what the deployment puts in front of it.
+// All endpoints are read-only: non-GET methods are rejected with 405, and
+// dynamic responses carry Cache-Control: no-store. Serve it with
+// http.ListenAndServe(addr, s.MonitorHandler()) or mount it under an
+// existing mux; it performs no writes and needs no authentication beyond
+// what the deployment puts in front of it.
 func (s *Server) MonitorHandler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		if err := json.NewEncoder(w).Encode(v); err != nil {
-			s.cfg.Logf("server %s: monitor encode: %v", s.node.ID(), err)
+			s.log.Warn("monitor encode failed", "err", err)
 		}
 	}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.ReadOnly(h))
+	}
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/projects", func(w http.ResponseWriter, r *http.Request) {
+	handle("/projects", func(w http.ResponseWriter, r *http.Request) {
 		sts := s.Projects()
 		out := make([]monitorStatus, 0, len(sts))
 		for _, st := range sts {
@@ -102,8 +114,14 @@ func (s *Server) MonitorHandler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("/projects/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/projects/")
+	handle("/projects/", func(w http.ResponseWriter, r *http.Request) {
+		// Normalize: a single trailing slash is tolerated
+		// ("/projects/alpha/" serves alpha), deeper subpaths are 404s.
+		name := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/projects/"), "/")
+		if name == "" || strings.Contains(name, "/") {
+			http.NotFound(w, r)
+			return
+		}
 		st, ok := s.Project(name)
 		if !ok {
 			http.Error(w, "unknown project", http.StatusNotFound)
@@ -111,10 +129,11 @@ func (s *Server) MonitorHandler() http.Handler {
 		}
 		writeJSON(w, toMonitor(st))
 	})
-	mux.HandleFunc("/workers", func(w http.ResponseWriter, r *http.Request) {
+	handle("/workers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Workers())
 	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Obs.Register(mux)
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return

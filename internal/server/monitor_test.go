@@ -106,3 +106,95 @@ func TestMonitorOverviewAndWorkers(t *testing.T) {
 		t.Errorf("unknown path status = %d", rec.Code)
 	}
 }
+
+func TestMonitorRejectsWrites(t *testing.T) {
+	ctrl := &testController{}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	h := r.srv.MonitorHandler()
+	for _, path := range []string{"/", "/projects", "/projects/x", "/workers", "/healthz", "/metrics", "/debug/trace"} {
+		for _, method := range []string{"POST", "PUT", "DELETE", "PATCH"} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(method, path, strings.NewReader("x")))
+			if rec.Code != 405 {
+				t.Errorf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s Allow = %q", method, path, allow)
+			}
+		}
+	}
+}
+
+func TestMonitorNoStoreOnJSON(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "delta")
+	for _, path := range []string{"/projects", "/projects/delta", "/workers", "/debug/trace", "/metrics"} {
+		rec, _ := monitorGet(t, r, path)
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d", path, rec.Code)
+			continue
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+}
+
+func TestMonitorProjectTrailingSlash(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "epsilon")
+
+	rec, body := monitorGet(t, r, "/projects/epsilon/")
+	if rec.Code != 200 || !strings.Contains(body, `"epsilon"`) {
+		t.Errorf("trailing slash: %d %s", rec.Code, body)
+	}
+	for _, path := range []string{"/projects/", "/projects/epsilon/sub", "/projects/epsilon/sub/"} {
+		rec, _ := monitorGet(t, r, path)
+		if rec.Code != 404 {
+			t.Errorf("GET %s = %d, want 404", path, rec.Code)
+		}
+	}
+	// Doubled slashes are canonicalized by the mux with a redirect, not
+	// served; either way nothing but the exact name (± one slash) resolves.
+	rec, _ = monitorGet(t, r, "/projects//")
+	if rec.Code != 404 && rec.Code != 301 {
+		t.Errorf("GET /projects// = %d, want 404 or 301", rec.Code)
+	}
+}
+
+func TestMonitorServesObsEndpoints(t *testing.T) {
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour}, ctrl)
+	r.submit(t, "zeta")
+
+	rec, body := monitorGet(t, r, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	for _, name := range []string{
+		"copernicus_commands_submitted_total",
+		"copernicus_queue_depth",
+		"copernicus_workers",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	rec, body = monitorGet(t, r, "/debug/trace")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace = %d", rec.Code)
+	}
+	var dump map[string]any
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	if dump["recorded"].(float64) == 0 {
+		t.Error("submitting a command should record a trace span")
+	}
+	rec, _ = monitorGet(t, r, "/debug/pprof/")
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/ = %d", rec.Code)
+	}
+}

@@ -13,10 +13,12 @@ package server
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"copernicus/internal/controller"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/queue"
 	"copernicus/internal/wire"
@@ -36,8 +38,10 @@ type Config struct {
 	// FSToken identifies the server's filesystem for the shared-FS
 	// optimisation; empty disables it.
 	FSToken string
-	// Logf receives diagnostics; nil silences them.
-	Logf func(format string, args ...any)
+	// Obs receives metrics, command-lifecycle spans and structured logs;
+	// nil selects a silent obs.New(). Share one bundle across components
+	// (as Fabric does) to see full lifecycles in one trace.
+	Obs *obs.Obs
 }
 
 func (c *Config) fill() {
@@ -50,8 +54,8 @@ func (c *Config) fill() {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Obs == nil {
+		c.Obs = obs.New()
 	}
 }
 
@@ -68,11 +72,13 @@ const (
 
 // cmdState is the project server's record of one command.
 type cmdState struct {
-	spec       wire.CommandSpec
-	status     cmdStatus
-	worker     string
-	retries    int
-	checkpoint []byte // latest partial checkpoint for failover
+	spec         wire.CommandSpec
+	status       cmdStatus
+	worker       string
+	retries      int
+	checkpoint   []byte // latest partial checkpoint for failover
+	submittedAt  time.Time
+	dispatchedAt time.Time
 }
 
 // project is one controller-driven job.
@@ -107,6 +113,8 @@ type Server struct {
 	reg  *controller.Registry
 	cfg  Config
 	q    *queue.Queue
+	log  *obs.Logger
+	met  serverMetrics
 
 	mu       sync.Mutex
 	projects map[string]*project
@@ -114,6 +122,52 @@ type Server struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// serverMetrics are the control-plane series the server maintains.
+type serverMetrics struct {
+	submitted       *obs.Counter
+	finished        *obs.Counter
+	failed          *obs.Counter
+	requeued        *obs.Counter
+	heartbeats      *obs.Counter
+	heartbeatMisses *obs.Counter
+	dispatchLatency *obs.Histogram
+	controllerTime  *obs.Histogram
+	resultBytes     *obs.Histogram
+}
+
+// dispatchBuckets cover queue waits from sub-millisecond (in-process
+// fabrics) to minutes (batch deployments).
+var dispatchBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30, 60, 120, 300}
+
+// newServerMetrics registers the server's series, labelled by node ID so
+// several servers can share one registry (as Fabric deployments do)
+// without their series colliding.
+func newServerMetrics(o *obs.Obs, nodeID string) serverMetrics {
+	m := o.Metrics
+	node := obs.L("node", nodeID)
+	return serverMetrics{
+		submitted: m.Counter("copernicus_commands_submitted_total",
+			"Commands submitted by controllers.", node),
+		finished: m.Counter("copernicus_commands_finished_total",
+			"Commands completed successfully.", node),
+		failed: m.Counter("copernicus_commands_failed_total",
+			"Commands that failed terminally after exhausting retries.", node),
+		requeued: m.Counter("copernicus_commands_requeued_total",
+			"Commands requeued after a worker loss (checkpoint hand-off).", node),
+		heartbeats: m.Counter("copernicus_heartbeats_total",
+			"Worker heartbeats received.", node),
+		heartbeatMisses: m.Counter("copernicus_heartbeat_misses_total",
+			"Workers declared dead after missing two heartbeat intervals.", node),
+		dispatchLatency: m.Histogram("copernicus_dispatch_latency_seconds",
+			"Queue wait between command submission and worker assignment.",
+			dispatchBuckets, node),
+		controllerTime: m.Histogram("copernicus_controller_reaction_seconds",
+			"Time controllers spend reacting to a finished command.", nil, node),
+		resultBytes: m.Histogram("copernicus_result_bytes",
+			"Uploaded result payload sizes.", obs.SizeBuckets(), node),
+	}
 }
 
 // New wires a server onto an overlay node. The node should already be
@@ -126,10 +180,28 @@ func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 		reg:      reg,
 		cfg:      cfg,
 		q:        queue.New(),
+		log:      cfg.Obs.Log.Named("server").With("node", node.ID()),
+		met:      newServerMetrics(cfg.Obs, node.ID()),
 		projects: make(map[string]*project),
 		workers:  make(map[string]*workerState),
 		stop:     make(chan struct{}),
 	}
+	nodeLabel := obs.L("node", node.ID())
+	s.q.SetObs(cfg.Obs, nodeLabel)
+	cfg.Obs.Metrics.GaugeFunc("copernicus_workers",
+		"Workers currently tracked by the heartbeat monitor.", nodeLabel,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.workers))
+		})
+	cfg.Obs.Metrics.GaugeFunc("copernicus_projects",
+		"Projects held by this server.", nodeLabel,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.projects))
+		})
 	node.Handle(wire.MsgSubmit, s.handleSubmit)
 	node.Handle(wire.MsgAnnounce, s.handleAnnounce)
 	node.Handle(wire.MsgResult, s.handleResult)
@@ -197,7 +269,7 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 		close(p.done)
 		return nil, fmt.Errorf("server: starting project %q: %w", sub.Name, err)
 	}
-	s.cfg.Logf("server %s: project %q started (%s)", s.node.ID(), sub.Name, sub.Controller)
+	s.log.Info("project started", "project", sub.Name, "controller", sub.Controller)
 	return wire.Marshal(&wire.ProjectStatus{Name: sub.Name, State: p.state})
 }
 
@@ -293,8 +365,9 @@ func (s *Server) contextFor(p *project) controller.Context { return &ctxImpl{s: 
 
 func (c *ctxImpl) ProjectName() string { return c.p.name }
 func (c *ctxImpl) Seed() uint64        { return c.p.seed }
+func (c *ctxImpl) Obs() *obs.Obs       { return c.s.cfg.Obs }
 func (c *ctxImpl) Logf(format string, args ...any) {
-	c.s.cfg.Logf("project %s: "+format, append([]any{c.p.name}, args...)...)
+	c.s.log.Info(fmt.Sprintf(format, args...), "project", c.p.name)
 }
 
 func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
@@ -309,7 +382,15 @@ func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
 	if err := c.s.q.Push(cmd); err != nil {
 		return err
 	}
-	c.p.commands[cmd.ID] = &cmdState{spec: cmd, status: cmdQueued}
+	now := time.Now()
+	c.p.commands[cmd.ID] = &cmdState{spec: cmd, status: cmdQueued, submittedAt: now}
+	c.s.met.submitted.Inc()
+	c.s.cfg.Obs.Trace.Record(obs.Span{
+		Stage:   obs.StageSubmit,
+		Command: cmd.ID,
+		Project: c.p.name,
+		Start:   now,
+	})
 	return nil
 }
 
@@ -394,10 +475,31 @@ func (s *Server) handleAnnounce(from string, payload []byte) ([]byte, error) {
 // markAssigned updates project command states for a local match and, when
 // the worker announced directly to us, records it for heartbeat tracking.
 func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from string, direct bool) {
+	now := time.Now()
 	for _, cmd := range wl.Commands {
 		s.withProjectCommand(cmd.Project, cmd.ID, func(p *project, cs *cmdState) {
 			cs.status = cmdRunning
 			cs.worker = info.ID
+			cs.dispatchedAt = now
+			if !cs.submittedAt.IsZero() {
+				wait := now.Sub(cs.submittedAt)
+				s.met.dispatchLatency.Observe(wait.Seconds())
+				s.cfg.Obs.Trace.Record(obs.Span{
+					Stage:    obs.StageQueueWait,
+					Command:  cmd.ID,
+					Project:  cmd.Project,
+					Start:    cs.submittedAt,
+					Duration: wait,
+				})
+			}
+			s.cfg.Obs.Trace.Record(obs.Span{
+				Stage:   obs.StageDispatch,
+				Command: cmd.ID,
+				Project: cmd.Project,
+				Worker:  info.ID,
+				Start:   now,
+				Attrs:   map[string]string{"cores": strconv.Itoa(wl.Cores[cmd.ID])},
+			})
 		})
 	}
 	if direct {
@@ -500,15 +602,44 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 	}
 	cs.status = cmdDone
 	p.finished++
+	s.met.finished.Inc()
+	s.met.resultBytes.Observe(float64(len(res.Output)))
+	s.cfg.Obs.Metrics.Counter("copernicus_worker_commands_total",
+		"Commands finished, by reporting worker.", obs.L("worker", res.WorkerID)).Inc()
+	s.cfg.Obs.Trace.Record(obs.Span{
+		Stage:   obs.StageResult,
+		Command: res.CommandID,
+		Project: res.Project,
+		Worker:  res.WorkerID,
+		Attrs: map[string]string{
+			"bytes":        strconv.Itoa(len(res.Output)),
+			"wall_seconds": strconv.FormatFloat(res.WallSeconds, 'g', 4, 64),
+		},
+	})
 	if p.state != "running" {
 		return []byte("ok"), nil
 	}
-	if err := p.ctrl.CommandFinished(s.contextFor(p), &res); err != nil {
+	reactStart := time.Now()
+	err := p.ctrl.CommandFinished(s.contextFor(p), &res)
+	reaction := time.Since(reactStart)
+	s.met.controllerTime.Observe(reaction.Seconds())
+	span := obs.Span{
+		Stage:    obs.StageController,
+		Command:  res.CommandID,
+		Project:  res.Project,
+		Start:    reactStart,
+		Duration: reaction,
+	}
+	if err != nil {
+		span.Err = err.Error()
+		s.cfg.Obs.Trace.Record(span)
 		p.state = "failed"
 		p.failErr = err.Error()
 		close(p.done)
+		s.log.Error("controller reaction failed", "project", p.name, "cmd", res.CommandID, "err", err)
 		return nil, err
 	}
+	s.cfg.Obs.Trace.Record(span)
 	return []byte("ok"), nil
 }
 
@@ -521,6 +652,7 @@ func (s *Server) handleHeartbeat(from string, payload []byte) ([]byte, error) {
 	if err := wire.Unmarshal(payload, &hb); err != nil {
 		return nil, err
 	}
+	s.met.heartbeats.Inc()
 	s.mu.Lock()
 	ws := s.workers[hb.WorkerID]
 	if ws != nil {
@@ -589,8 +721,9 @@ func (s *Server) reapDeadWorkers() {
 	s.mu.Unlock()
 
 	for _, v := range victims {
-		s.cfg.Logf("server %s: worker %s missed heartbeats, recovering %d commands",
-			s.node.ID(), v.id, len(v.commands))
+		s.met.heartbeatMisses.Inc()
+		s.log.Warn("worker missed heartbeats, recovering commands",
+			"worker", v.id, "commands", len(v.commands))
 		// Group by origin server.
 		byOrigin := make(map[string][]string)
 		for cmdID, origin := range v.commands {
@@ -607,7 +740,7 @@ func (s *Server) reapDeadWorkers() {
 				continue
 			}
 			if _, err := s.node.Request(origin, wire.MsgWorkerFailed, payload, s.cfg.RelayTimeout); err != nil {
-				s.cfg.Logf("server %s: reporting worker failure to %s: %v", s.node.ID(), origin, err)
+				s.log.Error("reporting worker failure upstream failed", "origin", origin, "err", err)
 			}
 		}
 	}
@@ -657,10 +790,22 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 			cs.status = cmdQueued
 			cs.worker = ""
 			if err := s.q.Push(spec); err != nil {
-				s.cfg.Logf("server %s: requeueing %s: %v", s.node.ID(), cmdID, err)
+				s.log.Error("requeueing recovered command failed", "cmd", cmdID, "err", err)
 			} else {
-				s.cfg.Logf("server %s: requeued %s (retry %d, checkpoint %d bytes)",
-					s.node.ID(), cmdID, cs.retries, len(cs.checkpoint))
+				cs.submittedAt = time.Now()
+				cs.dispatchedAt = time.Time{}
+				s.met.requeued.Inc()
+				s.cfg.Obs.Trace.Record(obs.Span{
+					Stage:   obs.StageSubmit,
+					Command: cmdID,
+					Project: owner.name,
+					Attrs: map[string]string{
+						"requeue":          strconv.Itoa(cs.retries),
+						"checkpoint_bytes": strconv.Itoa(len(cs.checkpoint)),
+					},
+				})
+				s.log.Info("requeued command from checkpoint",
+					"cmd", cmdID, "retry", cs.retries, "checkpoint_bytes", len(cs.checkpoint))
 				owner.mu.Unlock()
 				continue
 			}
@@ -668,6 +813,8 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 		// Terminal failure.
 		cs.status = cmdFailed
 		owner.failed++
+		s.met.failed.Inc()
+		s.log.Warn("command failed terminally", "cmd", cmdID, "project", owner.name, "worker", wf.WorkerID)
 		err := owner.ctrl.CommandFailed(s.contextFor(owner), cs.spec, "worker lost")
 		if err != nil && owner.state == "running" {
 			owner.state = "failed"

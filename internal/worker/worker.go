@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"copernicus/internal/engines"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/wire"
 )
@@ -36,8 +37,10 @@ type Config struct {
 	// under SpoolDir and passed by reference.
 	FSToken  string
 	SpoolDir string
-	// Logf receives diagnostics; nil silences them.
-	Logf func(format string, args ...any)
+	// Obs carries the worker's metrics registry, span tracer and logger.
+	// nil means a fresh silent bundle; pass a shared one to see worker run
+	// spans alongside the server's lifecycle spans.
+	Obs *obs.Obs
 }
 
 func (c *Config) fill() {
@@ -53,8 +56,8 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Obs == nil {
+		c.Obs = obs.New()
 	}
 }
 
@@ -64,12 +67,44 @@ type Worker struct {
 	home    string // node ID of the nearest server
 	engines map[string]engines.Engine
 	cfg     Config
+	log     *obs.Logger
+	met     workerMetrics
 
 	mu      sync.Mutex
 	running map[string]context.CancelFunc
 
 	// Completed counts finished commands (for tests and monitoring).
 	completed int
+}
+
+// workerMetrics holds this worker's registry handles. Per-engine command
+// wall-time histograms are resolved lazily (get-or-create) in runCommand.
+type workerMetrics struct {
+	announces       *obs.Counter
+	announceErrors  *obs.Counter
+	commandsOK      *obs.Counter
+	commandsFailed  *obs.Counter
+	resultErrors    *obs.Counter
+	checkpointBytes *obs.Histogram
+}
+
+func newWorkerMetrics(o *obs.Obs, workerID string) workerMetrics {
+	l := obs.L("worker", workerID)
+	return workerMetrics{
+		announces: o.Metrics.Counter("copernicus_worker_announces_total",
+			"Resource announcements sent to the home server.", l),
+		announceErrors: o.Metrics.Counter("copernicus_worker_announce_errors_total",
+			"Announcements that failed at the overlay layer.", l),
+		commandsOK: o.Metrics.Counter("copernicus_worker_commands_ok_total",
+			"Commands this worker completed successfully.", l),
+		commandsFailed: o.Metrics.Counter("copernicus_worker_commands_failed_total",
+			"Commands whose engine run returned an error.", l),
+		resultErrors: o.Metrics.Counter("copernicus_worker_result_errors_total",
+			"Result uploads that failed to reach the project server.", l),
+		checkpointBytes: o.Metrics.Histogram("copernicus_worker_checkpoint_bytes",
+			"Size of partial-result checkpoints reported for failover.",
+			obs.SizeBuckets(), l),
+	}
 }
 
 // New creates a worker bound to an overlay node that is already connected
@@ -95,6 +130,8 @@ func New(node *overlay.Node, home string, engs []engines.Engine, cfg Config) (*W
 		}
 		w.engines[e.Name()] = e
 	}
+	w.log = cfg.Obs.Log.Named("worker").With("worker", node.ID())
+	w.met = newWorkerMetrics(cfg.Obs, node.ID())
 	return w, nil
 }
 
@@ -132,7 +169,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		wl, err := w.announce()
 		if err != nil {
-			w.cfg.Logf("worker %s: announce: %v", w.ID(), err)
+			w.met.announceErrors.Inc()
+			w.log.Warn("announce failed", "err", err)
 			if !sleepCtx(ctx, w.cfg.PollInterval) {
 				return ctx.Err()
 			}
@@ -159,6 +197,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 
 // announce sends the resource announcement and decodes the workload.
 func (w *Worker) announce() (*wire.Workload, error) {
+	w.met.announces.Inc()
 	payload, err := wire.Marshal(&wire.AnnounceRequest{Info: w.info()})
 	if err != nil {
 		return nil, err
@@ -233,7 +272,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}, interv
 		}
 		reply, err := w.node.Request(w.home, wire.MsgHeartbeat, payload, w.cfg.RequestTimeout)
 		if err != nil {
-			w.cfg.Logf("worker %s: heartbeat: %v", w.ID(), err)
+			w.log.Warn("heartbeat failed", "err", err)
 			continue
 		}
 		var ack wire.HeartbeatAck
@@ -245,7 +284,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}, interv
 			cancel := w.running[id]
 			w.mu.Unlock()
 			if cancel != nil {
-				w.cfg.Logf("worker %s: aborting terminated command %s", w.ID(), id)
+				w.log.Info("aborting terminated command", "command", id)
 				cancel()
 			}
 		}
@@ -291,21 +330,42 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 			Partial:    true,
 			Checkpoint: checkpoint,
 		}
+		w.met.checkpointBytes.Observe(float64(len(checkpoint)))
 		w.sendResult(cmd.Origin, &partial)
 	}
 
 	start := time.Now()
 	output, err := eng.Run(runCtx, cmd, cores, progress)
 	res.WallSeconds = time.Since(start).Seconds()
+	w.cfg.Obs.Metrics.Histogram("copernicus_worker_command_seconds",
+		"Wall time of engine runs, by engine type.",
+		obs.DefBuckets(), obs.L("worker", w.ID(), "engine", cmd.Type)).
+		Observe(res.WallSeconds)
+	span := obs.Span{
+		Stage:    obs.StageRun,
+		Command:  cmd.ID,
+		Project:  cmd.Project,
+		Worker:   w.ID(),
+		Start:    start,
+		Duration: time.Since(start),
+		Attrs:    map[string]string{"engine": cmd.Type, "cores": fmt.Sprint(cores)},
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		span.Err = err.Error()
+	}
+	w.cfg.Obs.Trace.Record(span)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Terminated by the controller: nothing to report.
 			return
 		}
+		w.met.commandsFailed.Inc()
+		w.log.Warn("command failed", "command", cmd.ID, "engine", cmd.Type, "err", err)
 		res.Error = err.Error()
 		w.sendResult(cmd.Origin, &res)
 		return
 	}
+	w.met.commandsOK.Inc()
 	res.OK = true
 	if sharedFS && w.cfg.SpoolDir != "" {
 		if path, werr := w.spoolOutput(cmd.ID, output); werr == nil {
@@ -339,10 +399,12 @@ func (w *Worker) spoolOutput(cmdID string, output []byte) (string, error) {
 func (w *Worker) sendResult(origin string, res *wire.CommandResult) {
 	payload, err := wire.Marshal(res)
 	if err != nil {
-		w.cfg.Logf("worker %s: encoding result: %v", w.ID(), err)
+		w.met.resultErrors.Inc()
+		w.log.Error("encoding result failed", "command", res.CommandID, "err", err)
 		return
 	}
 	if _, err := w.node.Request(origin, wire.MsgResult, payload, w.cfg.RequestTimeout); err != nil {
-		w.cfg.Logf("worker %s: sending result for %s: %v", w.ID(), res.CommandID, err)
+		w.met.resultErrors.Inc()
+		w.log.Warn("sending result failed", "command", res.CommandID, "err", err)
 	}
 }

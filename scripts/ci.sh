@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging:
+# vet, build, full test suite, and race-enabled tests for the
+# concurrency-heavy packages. Usage: scripts/ci.sh [quick]
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+if [ "${1:-}" = "quick" ]; then
+    echo "ci: quick mode, skipping race tests"
+    exit 0
+fi
+
+echo "== go test -race (obs, server, worker, queue, overlay) =="
+go test -race ./internal/obs/... ./internal/server/... \
+    ./internal/worker/... ./internal/queue/... ./internal/overlay/...
+
+echo "ci: all checks passed"

@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race ci bench fmt
+.PHONY: all build vet test race chaos ci bench fmt
 
 all: build
 
@@ -18,6 +18,12 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/server/... \
 		./internal/worker/... ./internal/queue/... ./internal/overlay/...
+
+# Chaos soak: the MSM pipeline completing under seeded fault injection
+# (25% dropped writes, partial frames, a forced full partition) — see
+# docs/ROBUSTNESS.md.
+chaos:
+	$(GO) test -race -run TestChaosSoak -v -timeout 300s ./internal/core/
 
 ci:
 	sh scripts/ci.sh

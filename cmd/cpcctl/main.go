@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"copernicus/internal/client"
 	"copernicus/internal/controller"
 	"copernicus/internal/msm"
 	"copernicus/internal/overlay"
@@ -50,18 +52,19 @@ func main() {
 		log.Fatalf("connecting to %s: %v", *serverAddr, err)
 	}
 
+	cl := client.New(node, client.Config{Server: serverID})
 	switch flag.Arg(0) {
 	case "submit":
-		submit(node, serverID, flag.Args()[1:])
+		submit(cl, flag.Args()[1:])
 	case "status":
-		status(node, flag.Args()[1:])
+		status(cl, flag.Args()[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "cpcctl: unknown subcommand %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
 }
 
-func submit(node *overlay.Node, serverID string, args []string) {
+func submit(cl *client.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	name := fs.String("name", "", "project name (required)")
 	ctrl := fs.String("controller", "msm", "controller plugin: msm or bar")
@@ -120,17 +123,15 @@ func submit(node *overlay.Node, serverID string, args []string) {
 		log.Fatalf("encoding params: %v", err)
 	}
 
-	payload, err := wire.Marshal(&wire.ProjectSubmit{Name: *name, Controller: *ctrl, Params: params})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := node.Request(serverID, wire.MsgSubmit, payload, 30*time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Submit(ctx, *name, *ctrl, params); err != nil {
 		log.Fatalf("submit: %v", err)
 	}
 	fmt.Printf("cpcctl: project %q submitted (%s controller)\n", *name, *ctrl)
 }
 
-func status(node *overlay.Node, args []string) {
+func status(cl *client.Client, args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	name := fs.String("name", "", "project name (required)")
 	watch := fs.Bool("watch", false, "poll until the project finishes")
@@ -142,17 +143,11 @@ func status(node *overlay.Node, args []string) {
 		log.Fatal("cpcctl status: -name is required")
 	}
 	for {
-		payload, err := wire.Marshal(&wire.ProjectStatusRequest{Name: *name})
-		if err != nil {
-			log.Fatal(err)
-		}
-		reply, err := node.Request("", wire.MsgStatus, payload, 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		st, err := cl.Status(ctx, *name)
+		cancel()
 		if err != nil {
 			log.Fatalf("status: %v", err)
-		}
-		var st wire.ProjectStatus
-		if err := wire.Unmarshal(reply, &st); err != nil {
-			log.Fatal(err)
 		}
 		fmt.Printf("%s  state=%s gen=%d queued=%d running=%d finished=%d failed=%d  %s\n",
 			st.Name, st.State, st.Generation, st.Queued, st.Running, st.Finished, st.Failed, st.Note)

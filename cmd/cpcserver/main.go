@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"copernicus/internal/chaos"
 	"copernicus/internal/controller"
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
@@ -36,6 +37,9 @@ func main() {
 	peers := flag.String("peer", "", "comma-separated peer server addresses to connect to")
 	seed := flag.Uint64("seed", 0, "deterministic identity seed (0 = random identity)")
 	heartbeat := flag.Duration("heartbeat", 120*time.Second, "worker heartbeat interval")
+	relayTimeout := flag.Duration("relay-timeout", 0, "anycast work-search deadline per announce (0 = default 2s)")
+	relayCooldown := flag.Duration("relay-cooldown", 0, "pause between fruitless work searches (0 = relay-timeout)")
+	chaosCfg := chaos.RegisterFlags(flag.CommandLine)
 	monitor := flag.String("monitor", "", "HTTP monitoring address (e.g. :8080); empty disables")
 	metricsAddr := flag.String("metrics-addr", "", "standalone /metrics+/debug address (e.g. :9090); empty disables (the -monitor handler always includes them)")
 	logLevel := flag.String("log-level", "", "log level: debug, info, warn, error, off (empty = off; -v = debug)")
@@ -66,10 +70,12 @@ func main() {
 		}
 	}
 	trust := overlay.NewTrustStore()
+	var tr overlay.Transport
 	tr, err := overlay.NewTLSTransport(id, trust)
 	if err != nil {
 		log.Fatalf("tls transport: %v", err)
 	}
+	tr = chaos.Wrap(tr, *chaosCfg, o)
 	node := overlay.NewNode(id, trust, tr)
 	node.Obs = o
 	if err := node.Listen(*listen); err != nil {
@@ -77,6 +83,8 @@ func main() {
 	}
 	srv := server.New(node, controller.DefaultRegistry(), server.Config{
 		HeartbeatInterval: *heartbeat,
+		RelayTimeout:      *relayTimeout,
+		RelayCooldown:     *relayCooldown,
 		FSToken:           *fsToken,
 		Obs:               o,
 	})

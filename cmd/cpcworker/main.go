@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	cpcworker -server head-node:7770 [-cores N] [-platform smp]
+//	cpcworker -server head1:7770,head2:7770 [-cores N] [-platform smp]
+//
+// -server takes a comma-separated list: the worker homes on the first
+// address that answers and re-homes round-robin through the rest when its
+// home stops responding. -result-spool survives full partitions by spooling
+// finished results to disk for later redelivery, and the -retry-* / -chaos-*
+// flags expose the retry policy and fault-injection harness used by the
+// chaos soak tests (see docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -20,22 +27,31 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"copernicus/internal/chaos"
 	"copernicus/internal/engines"
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
+	"copernicus/internal/retry"
 	"copernicus/internal/worker"
 )
 
 func main() {
-	serverAddr := flag.String("server", "127.0.0.1:7770", "nearest server address")
+	serverList := flag.String("server", "127.0.0.1:7770", "comma-separated server addresses; first responder becomes home, the rest are re-home candidates")
 	cores := flag.Int("cores", runtime.NumCPU(), "cores to announce")
 	platform := flag.String("platform", "smp", "platform plugin name")
 	poll := flag.Duration("poll", 2*time.Second, "idle re-announce interval")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token")
 	spool := flag.String("spool", "", "shared-filesystem spool directory")
+	resultSpool := flag.String("result-spool", "", "directory to spool undeliverable results for redelivery; empty disables")
+	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per overlay request (0 = default)")
+	retryBase := flag.Duration("retry-base-delay", 0, "initial retry backoff (0 = default)")
+	retryMax := flag.Duration("retry-max-delay", 0, "backoff cap (0 = default)")
+	retryPerAttempt := flag.Duration("retry-per-attempt", 0, "per-attempt request deadline (0 = default)")
+	chaosCfg := chaos.RegisterFlags(flag.CommandLine)
 	metricsAddr := flag.String("metrics-addr", "", "standalone /metrics+/debug address (e.g. :9091); empty disables")
 	logLevel := flag.String("log-level", "", "log level: debug, info, warn, error, off (empty = off; -v = debug)")
 	verbose := flag.Bool("v", false, "verbose logging (shorthand for -log-level debug)")
@@ -58,25 +74,54 @@ func main() {
 		log.Fatalf("generating identity: %v", err)
 	}
 	trust := overlay.NewTrustStore()
-	tr, err := overlay.NewTLSTransport(id, trust)
+	var tr overlay.Transport
+	tr, err = overlay.NewTLSTransport(id, trust)
 	if err != nil {
 		log.Fatalf("tls transport: %v", err)
 	}
+	tr = chaos.Wrap(tr, *chaosCfg, o)
 	node := overlay.NewNode(id, trust, tr)
 	node.Obs = o
 	defer node.Close()
 
-	home, err := node.ConnectPeer(*serverAddr)
-	if err != nil {
-		log.Fatalf("connecting to %s: %v", *serverAddr, err)
+	servers := splitAddrs(*serverList)
+	if len(servers) == 0 {
+		log.Fatal("-server: no addresses given")
+	}
+	// Cycle through the address list a few times before giving up: the
+	// worker may start before its server (batch queues make no ordering
+	// promises), and under -chaos-* the handshake itself can be eaten.
+	var home string
+	var connErr error
+	for round := 0; round < 5 && home == ""; round++ {
+		if round > 0 {
+			time.Sleep(time.Duration(round) * 500 * time.Millisecond)
+		}
+		for _, addr := range servers {
+			if home, connErr = node.ConnectPeer(addr); connErr == nil {
+				break
+			}
+			log.Printf("connecting to %s: %v", addr, connErr)
+		}
+	}
+	if home == "" {
+		log.Fatalf("no server reachable from %v: %v", servers, connErr)
 	}
 	wk, err := worker.New(node, home, engines.Default(), worker.Config{
 		Platform:     *platform,
 		Cores:        *cores,
 		PollInterval: *poll,
-		FSToken:      *fsToken,
-		SpoolDir:     *spool,
-		Obs:          o,
+		Retry: retry.Policy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			PerAttempt:  *retryPerAttempt,
+		},
+		ServerAddrs:    servers,
+		ResultSpoolDir: *resultSpool,
+		FSToken:        *fsToken,
+		SpoolDir:       *spool,
+		Obs:            o,
 	})
 	if err != nil {
 		log.Fatalf("creating worker: %v", err)
@@ -103,4 +148,15 @@ func main() {
 		log.Fatalf("worker: %v", err)
 	}
 	fmt.Printf("cpcworker: done (%d commands completed)\n", wk.Completed())
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

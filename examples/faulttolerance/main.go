@@ -134,7 +134,9 @@ func main() {
 	if _, err := client.ConnectPeer("srv"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := client.Request(sNode.ID(), wire.MsgSubmit, payload, 10*time.Second); err != nil {
+	subCtx, cancelSub := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelSub()
+	if _, err := client.Request(subCtx, sNode.ID(), wire.MsgSubmit, payload); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("project submitted: one 20-step command (~2 s of compute)")

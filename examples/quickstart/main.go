@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,7 +41,9 @@ func main() {
 	params.LagNs = 10
 	params.PropagateNs = 1000
 
-	if err := fabric.Submit("quickstart", copernicus.MSMControllerName, &params); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := fabric.Submit(ctx, "quickstart", copernicus.MSMControllerName, &params); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("quickstart: project submitted; polling status...")
@@ -50,7 +53,7 @@ func main() {
 	go func() {
 		defer close(done)
 		for {
-			st, err := fabric.Status("quickstart")
+			st, err := fabric.Status(ctx, "quickstart")
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -63,7 +66,7 @@ func main() {
 		}
 	}()
 
-	st, err := fabric.Wait("quickstart", 10*time.Minute)
+	st, err := fabric.Wait(ctx, "quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}

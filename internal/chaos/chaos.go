@@ -1,0 +1,312 @@
+// Package chaos is a deterministic, seedable fault-injection layer for the
+// overlay transport. It wraps an overlay.Transport and injects connection
+// drops, added latency, partial writes (payload truncation on the wire),
+// refused dials, and peer partitions — either by seeded probability on every
+// write/dial or on a fixed schedule of events.
+//
+// The harness exists to prove the paper's central robustness claim (workers
+// die and links flap, yet the ensemble completes) instead of asserting it:
+// the chaos soak test in internal/core runs the MSM pipeline to completion
+// while this package kills links underneath it. Every injected fault is
+// counted into copernicus_chaos_faults_total{kind}, so a chaos run can
+// assert not just survival but that faults actually fired.
+//
+// Determinism: all probabilistic decisions draw from one rng.Source seeded
+// from Config.Seed, so a given seed replays the same fault sequence for the
+// same sequence of writes. (Goroutine interleaving still varies, so cross-
+// connection ordering is deterministic only per-decision, not globally.)
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"copernicus/internal/obs"
+	"copernicus/internal/overlay"
+	"copernicus/internal/rng"
+)
+
+// Event is one scheduled fault: After the given delay from Wrap, partition
+// and/or heal the named peer address. Probabilistic faults need no events.
+type Event struct {
+	After     time.Duration
+	Partition string // peer address to sever (all conns cut, new dials fail)
+	Heal      string // peer address to restore
+}
+
+// Config selects which faults to inject. The zero value injects nothing,
+// and Wrap with a zero Config returns the inner transport untouched.
+type Config struct {
+	// Seed drives every probabilistic decision.
+	Seed uint64
+	// DropProb is the per-write probability of severing the connection
+	// before any bytes are written.
+	DropProb float64
+	// PartialProb is the per-write probability of writing only a random
+	// prefix of the payload and then severing the connection — truncating
+	// the frame on the wire.
+	PartialProb float64
+	// DialFailProb is the per-dial probability of refusing the connection.
+	DialFailProb float64
+	// LatencyMin/LatencyMax bound a uniform random delay added to every
+	// write; both zero disables added latency.
+	LatencyMin, LatencyMax time.Duration
+	// Schedule lists timed partition/heal events, applied relative to the
+	// moment the transport is wrapped.
+	Schedule []Event
+}
+
+// RegisterFlags installs the -chaos-* flags on fs and returns the Config
+// they populate (valid after fs is parsed). Both daemons use this so a
+// deployment can be chaos-tested with the same knobs the soak tests use:
+//
+//	cpcworker -chaos-drop 0.25 -chaos-seed 42 ...
+func RegisterFlags(fs *flag.FlagSet) *Config {
+	cfg := &Config{}
+	fs.Uint64Var(&cfg.Seed, "chaos-seed", 0, "fault-injection RNG seed")
+	fs.Float64Var(&cfg.DropProb, "chaos-drop", 0, "per-write probability of severing the connection")
+	fs.Float64Var(&cfg.PartialProb, "chaos-partial", 0, "per-write probability of truncating the frame then severing")
+	fs.Float64Var(&cfg.DialFailProb, "chaos-dial-fail", 0, "per-dial probability of refusing the connection")
+	fs.DurationVar(&cfg.LatencyMin, "chaos-latency-min", 0, "minimum added per-write latency")
+	fs.DurationVar(&cfg.LatencyMax, "chaos-latency-max", 0, "maximum added per-write latency")
+	return cfg
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.DropProb > 0 || c.PartialProb > 0 || c.DialFailProb > 0 ||
+		c.LatencyMax > 0 || len(c.Schedule) > 0
+}
+
+// Transport wraps an overlay.Transport with fault injection on the dial
+// side. Workers and clients dial servers, and servers dial their overlay
+// peers, so wrapping the dialer covers every link the wrapper's owner
+// initiates; listening is passed through untouched.
+type Transport struct {
+	inner overlay.Transport
+	cfg   Config
+
+	mu          sync.Mutex
+	rand        *rng.Source
+	partitioned map[string]bool
+	conns       map[string]map[*faultConn]struct{}
+	timers      []*time.Timer
+
+	faults func(kind string) // increments the per-kind fault counter
+}
+
+// Wrap returns t with faults injected per cfg. A disabled config returns
+// inner unchanged, so call sites can wrap unconditionally.
+func Wrap(inner overlay.Transport, cfg Config, o *obs.Obs) overlay.Transport {
+	if !cfg.Enabled() {
+		return inner
+	}
+	return New(inner, cfg, o)
+}
+
+// New always builds a chaos transport, even for a zero config — useful when
+// the caller wants Partition/Heal control without probabilistic faults.
+func New(inner overlay.Transport, cfg Config, o *obs.Obs) *Transport {
+	if o == nil {
+		o = obs.New()
+	}
+	t := &Transport{
+		inner:       inner,
+		cfg:         cfg,
+		rand:        rng.New(cfg.Seed),
+		partitioned: make(map[string]bool),
+		conns:       make(map[string]map[*faultConn]struct{}),
+	}
+	reg := o.Metrics
+	t.faults = func(kind string) {
+		reg.Counter("copernicus_chaos_faults_total",
+			"Faults injected by the chaos harness, by kind.",
+			obs.L("kind", kind)).Inc()
+	}
+	for _, ev := range cfg.Schedule {
+		ev := ev
+		t.timers = append(t.timers, time.AfterFunc(ev.After, func() {
+			if ev.Partition != "" {
+				t.Partition(ev.Partition)
+			}
+			if ev.Heal != "" {
+				t.Heal(ev.Heal)
+			}
+		}))
+	}
+	return t
+}
+
+// Name implements overlay.Transport.
+func (t *Transport) Name() string { return "chaos+" + t.inner.Name() }
+
+// Listen implements overlay.Transport; inbound connections are untouched.
+func (t *Transport) Listen(addr string) (net.Listener, error) {
+	return t.inner.Listen(addr)
+}
+
+// Dial implements overlay.Transport: it refuses partitioned peers, may
+// refuse probabilistically, and wraps successful connections for per-write
+// fault injection.
+func (t *Transport) Dial(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	if t.partitioned[addr] {
+		t.mu.Unlock()
+		t.faults("partition_dial")
+		return nil, fmt.Errorf("chaos: partitioned from %q", addr)
+	}
+	refuse := t.cfg.DialFailProb > 0 && t.rand.Float64() < t.cfg.DialFailProb
+	t.mu.Unlock()
+	if refuse {
+		t.faults("dial_fail")
+		return nil, fmt.Errorf("chaos: dial to %q refused", addr)
+	}
+	c, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: c, t: t, addr: addr}
+	t.mu.Lock()
+	set := t.conns[addr]
+	if set == nil {
+		set = make(map[*faultConn]struct{})
+		t.conns[addr] = set
+	}
+	set[fc] = struct{}{}
+	t.mu.Unlock()
+	return fc, nil
+}
+
+// SetFaults replaces the probabilistic fault rates at runtime (drops,
+// partial writes, refused dials, latency). Partitions, scheduled events and
+// the rng stream are untouched, so a soak can turn the weather up or down
+// mid-run — e.g. calm everything to let spooled results drain — without
+// losing determinism of the decisions already made.
+func (t *Transport) SetFaults(cfg Config) {
+	t.mu.Lock()
+	t.cfg.DropProb = cfg.DropProb
+	t.cfg.PartialProb = cfg.PartialProb
+	t.cfg.DialFailProb = cfg.DialFailProb
+	t.cfg.LatencyMin = cfg.LatencyMin
+	t.cfg.LatencyMax = cfg.LatencyMax
+	t.mu.Unlock()
+}
+
+// Partition severs the link to addr: every tracked connection is closed and
+// new dials fail until Heal.
+func (t *Transport) Partition(addr string) {
+	t.mu.Lock()
+	t.partitioned[addr] = true
+	victims := make([]*faultConn, 0, len(t.conns[addr]))
+	for fc := range t.conns[addr] {
+		victims = append(victims, fc)
+	}
+	t.mu.Unlock()
+	for _, fc := range victims {
+		fc.Close()
+		t.faults("partition_cut")
+	}
+}
+
+// Heal restores the link to addr; existing severed connections stay dead,
+// new dials succeed again.
+func (t *Transport) Heal(addr string) {
+	t.mu.Lock()
+	delete(t.partitioned, addr)
+	t.mu.Unlock()
+}
+
+// Partitioned reports whether addr is currently severed.
+func (t *Transport) Partitioned(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned[addr]
+}
+
+// Stop cancels scheduled events. Open connections are left alone.
+func (t *Transport) Stop() {
+	t.mu.Lock()
+	timers := t.timers
+	t.timers = nil
+	t.mu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+}
+
+// forget drops a closed connection from the partition tracking set.
+func (t *Transport) forget(fc *faultConn) {
+	t.mu.Lock()
+	if set := t.conns[fc.addr]; set != nil {
+		delete(set, fc)
+		if len(set) == 0 {
+			delete(t.conns, fc.addr)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// decide draws the per-write fault verdict under the transport lock so the
+// rng stream stays sequential.
+func (t *Transport) decide(n int) (drop bool, partial int, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.LatencyMax > 0 {
+		span := t.cfg.LatencyMax - t.cfg.LatencyMin
+		delay = t.cfg.LatencyMin
+		if span > 0 {
+			delay += time.Duration(t.rand.Float64() * float64(span))
+		}
+	}
+	if t.cfg.DropProb > 0 && t.rand.Float64() < t.cfg.DropProb {
+		return true, 0, delay
+	}
+	if t.cfg.PartialProb > 0 && n > 1 && t.rand.Float64() < t.cfg.PartialProb {
+		return false, 1 + t.rand.Intn(n-1), delay
+	}
+	return false, 0, delay
+}
+
+// faultConn injects per-write faults. Faults sever the connection (close
+// after zero or partial bytes) rather than silently corrupting: the length-
+// prefixed framing means a truncated frame would otherwise block the reader
+// forever, whereas a close surfaces the failure to both ends immediately —
+// the behaviour of a real dropped link.
+type faultConn struct {
+	net.Conn
+	t    *Transport
+	addr string
+	once sync.Once
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.t.Partitioned(c.addr) {
+		c.Close()
+		return 0, fmt.Errorf("chaos: connection to %q partitioned", c.addr)
+	}
+	drop, partial, delay := c.t.decide(len(p))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.t.faults("drop")
+		c.Close()
+		return 0, fmt.Errorf("chaos: connection to %q dropped", c.addr)
+	}
+	if partial > 0 {
+		c.t.faults("partial_write")
+		n, _ := c.Conn.Write(p[:partial])
+		c.Close()
+		return n, fmt.Errorf("chaos: wrote %d of %d bytes to %q, then dropped", n, len(p), c.addr)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { c.t.forget(c) })
+	return err
+}

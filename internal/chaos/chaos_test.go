@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"copernicus/internal/obs"
+	"copernicus/internal/overlay"
+)
+
+// rig builds a chaos-wrapped in-memory transport with a sink listener that
+// drains every accepted connection (net.Pipe writes block until read).
+func rig(t *testing.T, cfg Config, o *obs.Obs) (*Transport, string) {
+	t.Helper()
+	inner := overlay.NewMemNetwork().Transport()
+	ct := New(inner, cfg, o)
+	const addr = "sink"
+	l, err := ct.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close(); ct.Stop() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	return ct, addr
+}
+
+// faultTrace dials once and writes frames until the connection dies,
+// recording which writes failed — a deterministic fingerprint of the seed.
+func faultTrace(t *testing.T, seed uint64, writes int) string {
+	t.Helper()
+	ct, addr := rig(t, Config{Seed: seed, DropProb: 0.2, PartialProb: 0.2}, nil)
+	var trace strings.Builder
+	var conn net.Conn
+	for i := 0; i < writes; i++ {
+		if conn == nil {
+			c, err := ct.Dial(addr)
+			if err != nil {
+				t.Fatalf("Dial: %v", err)
+			}
+			conn = c
+		}
+		if _, err := conn.Write([]byte("0123456789abcdef")); err != nil {
+			trace.WriteByte('x')
+			conn.Close()
+			conn = nil
+		} else {
+			trace.WriteByte('.')
+		}
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	return trace.String()
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	a := faultTrace(t, 42, 60)
+	b := faultTrace(t, 42, 60)
+	if a != b {
+		t.Fatalf("same seed produced different fault traces:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") {
+		t.Fatalf("no faults fired in 60 writes at 40%% combined probability: %s", a)
+	}
+	if !strings.Contains(a, ".") {
+		t.Fatalf("every write faulted: %s", a)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	o := obs.New()
+	ct, addr := rig(t, Config{}, o)
+
+	c, err := ct.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+
+	ct.Partition(addr)
+	if !ct.Partitioned(addr) {
+		t.Fatal("Partitioned = false after Partition")
+	}
+	// The tracked connection was severed...
+	if _, err := c.Write([]byte("hello")); err == nil {
+		t.Fatal("write on partitioned conn succeeded")
+	}
+	// ...and new dials fail.
+	if _, err := ct.Dial(addr); err == nil {
+		t.Fatal("dial to partitioned peer succeeded")
+	}
+
+	ct.Heal(addr)
+	c2, err := ct.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial after Heal: %v", err)
+	}
+	if _, err := c2.Write([]byte("hello")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	c2.Close()
+
+	body := renderMetrics(o)
+	if !strings.Contains(body, `copernicus_chaos_faults_total{kind="partition_cut"}`) {
+		t.Fatalf("partition_cut fault not counted:\n%s", body)
+	}
+}
+
+func TestPartialWriteTruncatesAndCloses(t *testing.T) {
+	inner := overlay.NewMemNetwork().Transport()
+	ct := New(inner, Config{Seed: 1, PartialProb: 1}, nil)
+	l, err := ct.Listen("peer")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		b, _ := io.ReadAll(c)
+		got <- b
+	}()
+
+	c, err := ct.Dial("peer")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := c.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write wrote %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	select {
+	case b := <-got:
+		if len(b) != n {
+			t.Fatalf("reader saw %d bytes, writer reported %d", len(b), n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never unblocked — truncated frame left the peer hanging")
+	}
+}
+
+func TestScheduleFires(t *testing.T) {
+	ct, addr := rig(t, Config{Schedule: []Event{{After: 10 * time.Millisecond, Partition: "sink"}}}, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for !ct.Partitioned(addr) {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled partition never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := ct.Dial(addr); err == nil {
+		t.Fatal("dial succeeded after scheduled partition")
+	}
+}
+
+func TestWrapDisabledPassthrough(t *testing.T) {
+	inner := overlay.NewMemNetwork().Transport()
+	if got := Wrap(inner, Config{}, nil); got != inner {
+		t.Fatalf("Wrap with zero config returned %T, want the inner transport", got)
+	}
+	if got := Wrap(inner, Config{DropProb: 0.5}, nil); got == inner {
+		t.Fatal("Wrap with faults enabled returned the inner transport")
+	}
+}
+
+func TestDialFailProbability(t *testing.T) {
+	ct, addr := rig(t, Config{Seed: 9, DialFailProb: 0.5}, nil)
+	fails := 0
+	for i := 0; i < 40; i++ {
+		c, err := ct.Dial(addr)
+		if err != nil {
+			fails++
+			continue
+		}
+		c.Close()
+	}
+	if fails == 0 || fails == 40 {
+		t.Fatalf("dial failures = %d of 40, want some but not all", fails)
+	}
+}
+
+func renderMetrics(o *obs.Obs) string {
+	var b strings.Builder
+	o.Metrics.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package client is the one project-facing API surface of the overlay:
+// submitting projects, querying status, and waiting for completion. The
+// in-process Fabric, the cpcctl CLI, and any remote tool all speak through
+// the same Client, so retry behaviour, idempotent resubmission and status
+// polling are implemented exactly once.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"copernicus/internal/overlay"
+	"copernicus/internal/retry"
+	"copernicus/internal/wire"
+)
+
+// Config tunes a Client.
+type Config struct {
+	// Server is the node ID submissions are addressed to; status queries go
+	// anycast so any server in the overlay can answer for the holder.
+	Server string
+	// Retry is the backoff policy for every request; zero fields take the
+	// retry package defaults. PerAttempt defaults to 5 s.
+	Retry retry.Policy
+	// Poll is the Wait status-poll interval (default 50 ms — in-process
+	// fabrics finish projects in seconds; remote callers may want more).
+	Poll time.Duration
+}
+
+// Client issues project operations against an overlay it is connected to.
+type Client struct {
+	node *overlay.Node
+	cfg  Config
+}
+
+// New binds a client to an overlay node that is (or will be) connected to
+// at least one server.
+func New(node *overlay.Node, cfg Config) *Client {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.Retry.PerAttempt <= 0 {
+		cfg.Retry.PerAttempt = 5 * time.Second
+	}
+	if cfg.Retry.Obs == nil {
+		cfg.Retry.Obs = node.Obs
+	}
+	cfg.Retry.Scope = node.ID()
+	return &Client{node: node, cfg: cfg}
+}
+
+// Node returns the client's overlay node.
+func (c *Client) Node() *overlay.Node { return c.node }
+
+// Submit creates a project. Submission is not naturally idempotent (a
+// project name can only be created once), so when a retried attempt learns
+// the project "already exists", that means an earlier attempt succeeded but
+// its reply was lost — Submit reports success.
+func (c *Client) Submit(ctx context.Context, name, controllerName string, params []byte) error {
+	payload, err := wire.Marshal(&wire.ProjectSubmit{
+		Name:       name,
+		Controller: controllerName,
+		Params:     params,
+	})
+	if err != nil {
+		return err
+	}
+	attempt := 0
+	return c.cfg.Retry.Do(ctx, "submit", func(ctx context.Context) error {
+		attempt++
+		_, err := c.node.Request(ctx, c.cfg.Server, wire.MsgSubmit, payload)
+		var remote *overlay.RemoteError
+		if errors.As(err, &remote) {
+			if attempt > 1 && strings.Contains(remote.Msg, "already exists") {
+				return nil // the lost first attempt landed
+			}
+			return retry.Permanent(err)
+		}
+		return err
+	})
+}
+
+// Status queries the project's current state; any server holding it may
+// answer (anycast), so it works through relays and after a re-home.
+func (c *Client) Status(ctx context.Context, name string) (wire.ProjectStatus, error) {
+	payload, err := wire.Marshal(&wire.ProjectStatusRequest{Name: name})
+	if err != nil {
+		return wire.ProjectStatus{}, err
+	}
+	var st wire.ProjectStatus
+	err = c.cfg.Retry.Do(ctx, "status", func(ctx context.Context) error {
+		reply, err := c.node.Request(ctx, "", wire.MsgStatus, payload)
+		if err != nil {
+			var remote *overlay.RemoteError
+			if errors.As(err, &remote) || errors.Is(err, context.DeadlineExceeded) {
+				// Answered with an error, or no server knows the project —
+				// retrying the same question gets the same silence.
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		return wire.Unmarshal(reply, &st)
+	})
+	return st, err
+}
+
+// Wait polls Status until the project leaves the "running" state or ctx is
+// done. Transient status failures (a dropped link mid-poll) do not abort
+// the wait; the last error is reported if ctx expires first.
+func (c *Client) Wait(ctx context.Context, name string) (wire.ProjectStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var lastErr error
+	for {
+		st, err := c.Status(ctx, name)
+		if err == nil && st.State != "" && st.State != "running" {
+			return st, nil
+		}
+		if err != nil {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return wire.ProjectStatus{}, fmt.Errorf("client: waiting for project %q: %w", name, lastErr)
+		case <-time.After(c.cfg.Poll):
+		}
+	}
+}

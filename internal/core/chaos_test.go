@@ -1,0 +1,160 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"copernicus/internal/chaos"
+	"copernicus/internal/controller"
+	"copernicus/internal/retry"
+	"copernicus/internal/wire"
+)
+
+// fabricMetric sums the named metric family across the fabric's registry.
+func fabricMetric(t *testing.T, f *Fabric, name string) float64 {
+	t.Helper()
+	var buf strings.Builder
+	f.Obs.Metrics.WriteText(&buf)
+	return promValue(t, buf.String(), name)
+}
+
+func waitMetric(t *testing.T, f *Fabric, name string, min float64, timeout time.Duration) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if fabricMetric(t, f, name) >= min {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return false
+}
+
+// TestChaosSoakMSMRecovers is the headline robustness soak: a full adaptive
+// MSM project runs to completion while the chaos harness drops a quarter of
+// every worker's writes, truncates a few more, and one worker is forcibly
+// partitioned from every server mid-command. The assertions pin the whole
+// degradation ladder: retries actually fired, the partitioned worker spooled
+// its undeliverable result to disk and redelivered every byte of it after
+// the heal, and the project still finished.
+func TestChaosSoakMSMRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is a long test")
+	}
+	spoolRoot := t.TempDir()
+	f, err := NewFabric(FabricConfig{
+		Servers:          2,
+		WorkersPerServer: 2,
+		Heartbeat:        250 * time.Millisecond,
+		Poll:             20 * time.Millisecond,
+		Chaos: chaos.Config{
+			Seed:        42,
+			DropProb:    0.25,
+			PartialProb: 0.05,
+		},
+		WorkerRetry: retry.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+			// Short per-attempt deadline: a write severed mid-envelope
+			// never gets an error reply, so attempts must time out fast.
+			PerAttempt: 500 * time.Millisecond,
+		},
+		ResultSpoolDir: spoolRoot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	p := smallMSMParams()
+	ctx := ctxTimeout(t, 3*time.Minute)
+	if err := f.Submit(ctx, "chaos-msm", controller.MSMControllerName, &p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until worker 0 is actually executing a command, then cut it off
+	// from both servers so its finished result has nowhere to go.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(f.Workers[0].RunningCommands()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker 0 never got work")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.Chaos[0].Partition("server-0")
+	f.Chaos[0].Partition("server-1")
+	t.Log("worker 0 partitioned from all servers")
+
+	// The command completes into the void: the worker retries, falls back
+	// to anycast, then spools the result to disk.
+	if !waitMetric(t, f, "copernicus_worker_results_spooled_total", 1, 20*time.Second) {
+		t.Fatal("partitioned worker never spooled its undeliverable result")
+	}
+	spooled := fabricMetric(t, f, "copernicus_worker_results_spooled_total")
+	t.Logf("worker 0 spooled %.0f result(s) while partitioned", spooled)
+
+	f.Chaos[0].Heal("server-0")
+	f.Chaos[0].Heal("server-1")
+	t.Log("partition healed")
+
+	st, err := f.Wait(ctx, "chaos-msm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "finished" {
+		t.Fatalf("project state = %q (%s)", st.State, st.Note)
+	}
+	var res controller.MSMResult
+	if err := wire.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generations) != p.Generations {
+		t.Errorf("ran %d generations, want %d", len(res.Generations), p.Generations)
+	}
+
+	// Redelivery may trail the project finish (it rides the next successful
+	// announce). Calm the weather — stop injecting new faults, keeping any
+	// partitions — so the drain is pure catch-up, then every spool directory
+	// must empty out. (Spool files are keyed by command ID, so a command
+	// re-executed after a requeue overwrites its earlier spool file; the
+	// spooled counter can therefore exceed the file count, which is why the
+	// invariant is "no files left", not "redelivered == spooled".)
+	for _, ct := range f.Chaos {
+		ct.SetFaults(chaos.Config{})
+	}
+	drained := func() bool {
+		left, _ := filepath.Glob(filepath.Join(spoolRoot, "*", "*.result"))
+		return len(left) == 0 &&
+			fabricMetric(t, f, "copernicus_worker_results_redelivered_total") >= spooled
+	}
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for !drained() {
+		if time.Now().After(drainDeadline) {
+			left, _ := filepath.Glob(filepath.Join(spoolRoot, "*", "*.result"))
+			for i, w := range f.Workers {
+				t.Logf("worker %d: home=%s completed=%d running=%v", i, w.Home(), w.Completed(), w.RunningCommands())
+			}
+			t.Fatalf("redelivered %.0f of %.0f spooled results; %d files left: %v",
+				fabricMetric(t, f, "copernicus_worker_results_redelivered_total"),
+				fabricMetric(t, f, "copernicus_worker_results_spooled_total"), len(left), left)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The fault injector and the retry layer both demonstrably fired.
+	if got := fabricMetric(t, f, "copernicus_chaos_faults_total"); got == 0 {
+		t.Error("chaos transport injected no faults")
+	}
+	if got := fabricMetric(t, f, "copernicus_retry_attempts_total"); got == 0 {
+		t.Error("no request was ever retried under 25% drop probability")
+	}
+	t.Logf("faults=%.0f retries=%.0f spooled=%.0f redelivered=%.0f duplicates=%.0f",
+		fabricMetric(t, f, "copernicus_chaos_faults_total"),
+		fabricMetric(t, f, "copernicus_retry_attempts_total"),
+		spooled,
+		fabricMetric(t, f, "copernicus_worker_results_redelivered_total"),
+		fabricMetric(t, f, "copernicus_results_duplicate_total"))
+}

@@ -11,13 +11,17 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"copernicus/internal/chaos"
+	"copernicus/internal/client"
 	"copernicus/internal/controller"
 	"copernicus/internal/engines"
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
+	"copernicus/internal/retry"
 	"copernicus/internal/server"
 	"copernicus/internal/wire"
 	"copernicus/internal/worker"
@@ -49,6 +53,18 @@ type FabricConfig struct {
 	// when non-empty; SpoolDir is where outputs are exchanged.
 	FSToken  string
 	SpoolDir string
+	// Chaos, when enabled, wraps every worker's transport in a
+	// fault-injection layer (each worker gets its own chaos.Transport,
+	// seeded Chaos.Seed+index, reachable as Fabric.Chaos for partition
+	// control). Server↔server and client links stay clean so the harness
+	// measures worker-path resilience, not total blackout.
+	Chaos chaos.Config
+	// WorkerRetry is the retry/backoff policy handed to every worker
+	// (announce, heartbeat, result delivery). Zero fields take defaults.
+	WorkerRetry retry.Policy
+	// ResultSpoolDir, when set, gives each worker a private subdirectory to
+	// spool undeliverable results for post-partition redelivery.
+	ResultSpoolDir string
 	// Obs is the observability bundle shared by every component in the
 	// fabric — one metrics registry, one span tracer, one logger — so a
 	// command's whole lifecycle (submit → queue → dispatch → run → result →
@@ -89,15 +105,20 @@ type Fabric struct {
 	Net     *overlay.MemNetwork
 	Servers []*server.Server
 	Workers []*worker.Worker
+	// Chaos holds each worker's fault-injection transport (index-aligned
+	// with Workers) when FabricConfig.Chaos is enabled; empty otherwise.
+	// Tests drive partitions through these.
+	Chaos []*chaos.Transport
 	// Obs is the bundle shared by every node, server and worker; serve
 	// Obs.Handler() (or any server's MonitorHandler) to expose /metrics and
 	// /debug/trace for the whole fabric.
 	Obs *obs.Obs
 
-	nodes  []*overlay.Node
-	client *overlay.Node
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	nodes      []*overlay.Node
+	clientNode *overlay.Node
+	cl         *client.Client
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
 }
 
 // NewFabric builds and starts the deployment: a chain of servers
@@ -112,18 +133,20 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	f.cancel = cancel
 
 	seed := uint64(1000)
-	newNode := func() *overlay.Node {
+	newNode := func(nodeTr overlay.Transport) *overlay.Node {
 		seed++
-		n := overlay.NewNode(overlay.NewIdentityFromSeed(seed), overlay.NewTrustStore(), tr)
+		n := overlay.NewNode(overlay.NewIdentityFromSeed(seed), overlay.NewTrustStore(), nodeTr)
 		n.Obs = cfg.Obs
 		f.nodes = append(f.nodes, n)
 		return n
 	}
 
 	// Server chain.
+	serverAddrs := make([]string, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		node := newNode()
+		node := newNode(tr)
 		addr := fmt.Sprintf("server-%d", i)
+		serverAddrs[i] = addr
 		if err := node.Listen(addr); err != nil {
 			f.Close()
 			return nil, err
@@ -143,20 +166,51 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		f.Servers = append(f.Servers, srv)
 	}
 
-	// Workers, attached round-robin across servers.
+	// Workers, attached round-robin across servers. Each worker gets its own
+	// chaos transport (when enabled) so faults and partitions can be aimed
+	// at individual worker↔server links.
 	for i := 0; i < cfg.Servers*cfg.WorkersPerServer; i++ {
-		node := newNode()
-		home := f.Servers[i%cfg.Servers]
-		if _, err := node.ConnectPeer(fmt.Sprintf("server-%d", i%cfg.Servers)); err != nil {
-			f.Close()
-			return nil, err
+		workerTr := tr
+		if cfg.Chaos.Enabled() {
+			ccfg := cfg.Chaos
+			ccfg.Seed = cfg.Chaos.Seed + uint64(i)
+			ct := chaos.New(tr, ccfg, cfg.Obs)
+			f.Chaos = append(f.Chaos, ct)
+			workerTr = ct
 		}
+		node := newNode(workerTr)
+		home := f.Servers[i%cfg.Servers]
+		var connErr error
+		for attempt := 0; attempt < 5; attempt++ {
+			if _, connErr = node.ConnectPeer(fmt.Sprintf("server-%d", i%cfg.Servers)); connErr == nil {
+				break
+			}
+		}
+		if connErr != nil {
+			if !cfg.Chaos.Enabled() {
+				f.Close()
+				return nil, connErr
+			}
+			// The fault injector ate every join attempt; the worker starts
+			// peerless and re-homes onto a server on its first announce.
+			cfg.Obs.Log.Named("core").Warn("worker joins overlay degraded",
+				"worker", i, "err", connErr)
+		}
+		spool := ""
+		if cfg.ResultSpoolDir != "" {
+			spool = filepath.Join(cfg.ResultSpoolDir, fmt.Sprintf("worker-%d", i))
+		}
+		wretry := cfg.WorkerRetry
+		wretry.Seed = cfg.WorkerRetry.Seed + uint64(i)
 		wk, err := worker.New(node, home.Node().ID(), cfg.Engines, worker.Config{
-			Cores:        cfg.WorkerCores,
-			PollInterval: cfg.Poll,
-			FSToken:      cfg.FSToken,
-			SpoolDir:     cfg.SpoolDir,
-			Obs:          cfg.Obs,
+			Cores:          cfg.WorkerCores,
+			PollInterval:   cfg.Poll,
+			Retry:          wretry,
+			ServerAddrs:    serverAddrs,
+			ResultSpoolDir: spool,
+			FSToken:        cfg.FSToken,
+			SpoolDir:       cfg.SpoolDir,
+			Obs:            cfg.Obs,
 		})
 		if err != nil {
 			f.Close()
@@ -171,56 +225,45 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	}
 
 	// Client node for submissions and monitoring.
-	f.client = newNode()
-	if _, err := f.client.ConnectPeer("server-0"); err != nil {
+	f.clientNode = newNode(tr)
+	if _, err := f.clientNode.ConnectPeer("server-0"); err != nil {
 		f.Close()
 		return nil, err
 	}
+	f.cl = client.New(f.clientNode, client.Config{
+		Server: f.Servers[0].Node().ID(),
+		Poll:   cfg.Poll,
+	})
 	return f, nil
 }
 
 // ProjectServer returns the server holding submitted projects.
 func (f *Fabric) ProjectServer() *server.Server { return f.Servers[0] }
 
+// Client returns the fabric's project client — the same client.Client type
+// cpcctl uses over TLS, here bound to the in-memory overlay.
+func (f *Fabric) Client() *client.Client { return f.cl }
+
 // Submit creates a project on the project server through the wire protocol
 // (exactly what cmd/cpcctl does over TLS).
-func (f *Fabric) Submit(name, controllerName string, params any) error {
+func (f *Fabric) Submit(ctx context.Context, name, controllerName string, params any) error {
 	blob, err := wire.Marshal(params)
 	if err != nil {
 		return err
 	}
-	payload, err := wire.Marshal(&wire.ProjectSubmit{
-		Name:       name,
-		Controller: controllerName,
-		Params:     blob,
-	})
-	if err != nil {
-		return err
-	}
-	_, err = f.client.Request(f.Servers[0].Node().ID(), wire.MsgSubmit, payload, overlay.DefaultRequestTimeout)
-	return err
+	return f.cl.Submit(ctx, name, controllerName, blob)
 }
 
 // Status queries a project over the wire.
-func (f *Fabric) Status(name string) (wire.ProjectStatus, error) {
-	payload, err := wire.Marshal(&wire.ProjectStatusRequest{Name: name})
-	if err != nil {
-		return wire.ProjectStatus{}, err
-	}
-	reply, err := f.client.Request("", wire.MsgStatus, payload, overlay.DefaultRequestTimeout)
-	if err != nil {
-		return wire.ProjectStatus{}, err
-	}
-	var st wire.ProjectStatus
-	if err := wire.Unmarshal(reply, &st); err != nil {
-		return wire.ProjectStatus{}, err
-	}
-	return st, nil
+func (f *Fabric) Status(ctx context.Context, name string) (wire.ProjectStatus, error) {
+	return f.cl.Status(ctx, name)
 }
 
-// Wait blocks until the project completes and returns its final status.
-func (f *Fabric) Wait(name string, timeout time.Duration) (wire.ProjectStatus, error) {
-	return f.Servers[0].WaitProject(name, timeout)
+// Wait blocks until the project completes (or ctx is done) and returns its
+// final status. It polls over the wire rather than peeking at server
+// internals, so it behaves identically for in-process and remote callers.
+func (f *Fabric) Wait(ctx context.Context, name string) (wire.ProjectStatus, error) {
+	return f.cl.Wait(ctx, name)
 }
 
 // Close tears the deployment down.
@@ -232,11 +275,11 @@ func (f *Fabric) Close() {
 		s.Close()
 	}
 	f.wg.Wait()
+	for _, ct := range f.Chaos {
+		ct.Stop()
+	}
 	for _, n := range f.nodes {
 		n.Close()
-	}
-	if f.client != nil {
-		f.client.Close()
 	}
 }
 
@@ -249,10 +292,12 @@ func RunMSM(params controller.MSMParams, cfg FabricConfig, timeout time.Duration
 		return nil, err
 	}
 	defer f.Close()
-	if err := f.Submit("msm-project", controller.MSMControllerName, &params); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := f.Submit(ctx, "msm-project", controller.MSMControllerName, &params); err != nil {
 		return nil, err
 	}
-	st, err := f.Wait("msm-project", timeout)
+	st, err := f.Wait(ctx, "msm-project")
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +318,12 @@ func RunBAR(params controller.BARParams, cfg FabricConfig, timeout time.Duration
 		return nil, err
 	}
 	defer f.Close()
-	if err := f.Submit("bar-project", controller.BARControllerName, &params); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := f.Submit(ctx, "bar-project", controller.BARControllerName, &params); err != nil {
 		return nil, err
 	}
-	st, err := f.Wait("bar-project", timeout)
+	st, err := f.Wait(ctx, "bar-project")
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,21 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
 
 	"copernicus/internal/controller"
 )
+
+// ctxTimeout returns a context cancelled after d, cleaned up with the test.
+func ctxTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // smallMSMParams is a scaled-down villin protocol that completes in seconds.
 func smallMSMParams() controller.MSMParams {
@@ -73,10 +82,10 @@ func TestFabricMSMDistributedAcrossRelays(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("relay-msm", controller.MSMControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "relay-msm", controller.MSMControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.Wait("relay-msm", 2*time.Minute)
+	st, err := f.Wait(ctxTimeout(t, 2*time.Minute), "relay-msm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,10 +138,10 @@ func TestFabricStatusOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("status-test", controller.MSMControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "status-test", controller.MSMControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.Status("status-test")
+	st, err := f.Status(ctxTimeout(t, 10*time.Second), "status-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +151,10 @@ func TestFabricStatusOverWire(t *testing.T) {
 	if st.State != "running" && st.State != "finished" {
 		t.Errorf("state = %q", st.State)
 	}
-	if _, err := f.Wait("status-test", 2*time.Minute); err != nil {
+	if _, err := f.Wait(ctxTimeout(t, 2*time.Minute), "status-test"); err != nil {
 		t.Fatal(err)
 	}
-	st, err = f.Status("status-test")
+	st, err = f.Status(ctxTimeout(t, 10*time.Second), "status-test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +169,7 @@ func TestFabricUnknownController(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("bad", "no-such-controller", &struct{}{}); err == nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "bad", "no-such-controller", &struct{}{}); err == nil {
 		t.Error("unknown controller accepted")
 	}
 }
@@ -176,10 +185,10 @@ func TestFabricDuplicateProject(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("dup", controller.BARControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "dup", controller.BARControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Submit("dup", controller.BARControllerName, &p); err == nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "dup", controller.BARControllerName, &p); err == nil {
 		t.Error("duplicate project name accepted")
 	}
 }
@@ -199,10 +208,10 @@ func TestFabricSharedFS(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("sharedfs", controller.BARControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "sharedfs", controller.BARControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.Wait("sharedfs", time.Minute)
+	st, err := f.Wait(ctxTimeout(t, time.Minute), "sharedfs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +226,7 @@ func TestWaitTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if _, err := f.Wait("nonexistent", 10*time.Millisecond); err == nil {
+	if _, err := f.Wait(ctxTimeout(t, 10*time.Millisecond), "nonexistent"); err == nil {
 		t.Error("waiting on unknown project should fail")
 	}
 }

@@ -86,10 +86,10 @@ func TestTLSDeploymentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cNode.Request(sNode.ID(), wire.MsgSubmit, payload, 10*time.Second); err != nil {
+	if _, err := cNode.RequestTimeout(sNode.ID(), wire.MsgSubmit, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	st, err := srv.WaitProject("tls-project", time.Minute)
+	st, err := srv.WaitProject(ctxTimeout(t, time.Minute), "tls-project")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +123,10 @@ func TestHighLatencyFabric(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("wan", controller.BARControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "wan", controller.BARControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.Wait("wan", 2*time.Minute)
+	st, err := f.Wait(ctxTimeout(t, 2*time.Minute), "wan")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,10 +71,10 @@ func TestFabricObservabilityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := f.Submit("obs-msm", controller.MSMControllerName, &p); err != nil {
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "obs-msm", controller.MSMControllerName, &p); err != nil {
 		t.Fatal(err)
 	}
-	if st, err := f.Wait("obs-msm", 2*time.Minute); err != nil || st.State != "finished" {
+	if st, err := f.Wait(ctxTimeout(t, 2*time.Minute), "obs-msm"); err != nil || st.State != "finished" {
 		t.Fatalf("project did not finish: state=%v err=%v", st.State, err)
 	}
 

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -236,10 +237,12 @@ func Fig6() (*Fig6Result, error) {
 	defer f.Close()
 	start := time.Now()
 	before := f.Net.BytesSent()
-	if err := f.Submit("fig6", controller.MSMControllerName, &p); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := f.Submit(ctx, "fig6", controller.MSMControllerName, &p); err != nil {
 		return nil, err
 	}
-	if _, err := f.Wait("fig6", 10*time.Minute); err != nil {
+	if _, err := f.Wait(ctx, "fig6"); err != nil {
 		return nil, err
 	}
 	out.EnsembleBytes = f.Net.BytesSent() - before
@@ -406,10 +409,12 @@ func OverlayDemo() (string, error) {
 		return "", err
 	}
 	defer f.Close()
-	if err := f.Submit("demo", controller.MSMControllerName, &p); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := f.Submit(ctx, "demo", controller.MSMControllerName, &p); err != nil {
 		return "", err
 	}
-	st, err := f.Wait("demo", 5*time.Minute)
+	st, err := f.Wait(ctx, "demo")
 	if err != nil {
 		return "", err
 	}

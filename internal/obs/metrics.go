@@ -295,30 +295,44 @@ func formatFloat(v float64) string {
 // WriteText writes every family in Prometheus text exposition format
 // (families and series in sorted order, so output is deterministic).
 func (r *Registry) WriteText(w io.Writer) {
+	// Snapshot the family and series maps under the lock — lookup keeps
+	// inserting series concurrently — then format outside it; the sample
+	// values themselves are atomics, safe to read unlocked.
+	type famSnap struct {
+		f    *family
+		keys []string
+		ms   []*metric
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
+	fams := make([]famSnap, 0, len(names))
 	for _, n := range names {
-		fams = append(fams, r.families[n])
+		f := r.families[n]
+		sn := famSnap{f: f, keys: make([]string, 0, len(f.series))}
+		for k := range f.series {
+			sn.keys = append(sn.keys, k)
+		}
+		sort.Strings(sn.keys)
+		sn.ms = make([]*metric, len(sn.keys))
+		for i, k := range sn.keys {
+			sn.ms[i] = f.series[k]
+		}
+		fams = append(fams, sn)
 	}
 	r.mu.Unlock()
 
-	for _, f := range fams {
+	for _, sn := range fams {
+		f := sn.f
 		if f.help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			m := f.series[k]
+		for i, k := range sn.keys {
+			m := sn.ms[i]
 			switch f.typ {
 			case "counter":
 				fmt.Fprintf(w, "%s%s %d\n", f.name, k, m.counter.Value())

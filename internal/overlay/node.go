@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"context"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
@@ -19,6 +20,25 @@ import (
 // overlay — this implements the paper's routing "to the first server with
 // available commands".
 var ErrNotHandled = errors.New("overlay: request not handled here")
+
+// ErrNoRoute is returned by Request when the node has no peer link that
+// could carry the envelope (and no local handler that could answer it), so
+// waiting out the deadline would be pointless. Retry layers treat this as
+// transient: a reconnect or re-home may restore a route.
+var ErrNoRoute = errors.New("overlay: no route to peer")
+
+// ErrVersionMismatch re-exports the wire sentinel: a handshake against a
+// node speaking a different protocol version fails with an error matching
+// errors.Is(err, overlay.ErrVersionMismatch).
+var ErrVersionMismatch = wire.ErrVersionMismatch
+
+// RemoteError is an error reply produced by the remote handler. Its
+// presence means the request WAS delivered and answered — retrying will not
+// change the outcome — which is how retry policies distinguish application
+// failures from transport failures.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "overlay: remote error: " + e.Msg }
 
 // Handler processes a request payload from a peer and returns the reply
 // payload. Returning ErrNotHandled forwards the request instead (only
@@ -58,20 +78,77 @@ type Node struct {
 	Obs *obs.Obs
 }
 
+// linkQueueDepth bounds each peer link's outbound envelope queue. A full
+// queue drops the envelope with an error instead of blocking the sender:
+// the retry layer re-issues requests, and a dropped reply surfaces as a
+// requester-side timeout — the same observable behaviour as a congested
+// real link.
+const linkQueueDepth = 512
+
 type peerLink struct {
 	id   string
 	conn net.Conn
-	wmu  sync.Mutex
+
+	out  chan *wire.Envelope
+	done chan struct{}
+	once sync.Once
 
 	// Per-peer traffic series, resolved once at addPeer.
 	rxMsgs, txMsgs   *obs.Counter
 	rxBytes, txBytes *obs.Counter
 }
 
+func newPeerLink(id string, conn net.Conn) *peerLink {
+	return &peerLink{
+		id:   id,
+		conn: conn,
+		out:  make(chan *wire.Envelope, linkQueueDepth),
+		done: make(chan struct{}),
+	}
+}
+
+// send queues env for delivery. It never blocks on the network: readers
+// forward and reply from their own goroutine, so a synchronous write could
+// head-of-line block two nodes writing to each other into a deadlock. A
+// closed link or a full queue reports an error immediately instead.
 func (p *peerLink) send(env *wire.Envelope) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
-	return wire.WriteEnvelope(p.conn, env)
+	select {
+	case <-p.done:
+		return fmt.Errorf("overlay: link to %s closed", p.id)
+	default:
+	}
+	select {
+	case p.out <- env:
+		return nil
+	default:
+		return fmt.Errorf("overlay: link to %s congested, envelope dropped", p.id)
+	}
+}
+
+// writeLoop drains the outbound queue onto the wire; it owns all writes to
+// the connection, preserving envelope order. Any write error severs the
+// link (length-prefixed framing cannot resync mid-frame).
+func (p *peerLink) writeLoop() {
+	for {
+		select {
+		case env := <-p.out:
+			if err := wire.WriteEnvelope(p.conn, env); err != nil {
+				p.close()
+				return
+			}
+			p.txMsgs.Inc()
+			p.txBytes.Add(uint64(len(env.Payload)))
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// close severs the link: the writer exits, queued envelopes are discarded,
+// and further sends fail fast.
+func (p *peerLink) close() {
+	p.once.Do(func() { close(p.done) })
+	p.conn.Close()
 }
 
 // NewNode creates a node with the given identity, trust store and transport.
@@ -233,7 +310,7 @@ func (n *Node) ConnectPeer(addr string) (string, error) {
 // addPeer registers a completed connection in the peer table, replacing any
 // stale link with the same ID.
 func (n *Node) addPeer(peerID string, conn net.Conn) (*peerLink, error) {
-	link := &peerLink{id: peerID, conn: conn}
+	link := newPeerLink(peerID, conn)
 	const (
 		msgsName  = "copernicus_overlay_messages_total"
 		msgsHelp  = "Envelopes exchanged with a peer, by direction."
@@ -252,16 +329,21 @@ func (n *Node) addPeer(peerID string, conn net.Conn) (*peerLink, error) {
 		return nil, net.ErrClosed
 	}
 	if old, ok := n.peers[peerID]; ok {
-		old.conn.Close()
+		old.close()
 	}
 	n.peers[peerID] = link
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		link.writeLoop()
+	}()
 	return link, nil
 }
 
 // runPeer pumps envelopes until the connection dies, then unregisters it.
 func (n *Node) runPeer(link *peerLink) error {
 	defer func() {
-		link.conn.Close()
+		link.close()
 		n.mu.Lock()
 		if n.peers[link.id] == link {
 			delete(n.peers, link.id)
@@ -311,7 +393,7 @@ func (n *Node) Close() {
 		l.Close()
 	}
 	for _, p := range links {
-		p.conn.Close()
+		p.close()
 	}
 	for _, ch := range pend {
 		close(ch)
@@ -319,12 +401,20 @@ func (n *Node) Close() {
 	n.wg.Wait()
 }
 
-// Request sends a request and waits for the reply. An empty `to` addresses
-// the first server in the overlay whose handler accepts the message type
-// (anycast); otherwise the envelope is routed to the named node.
-func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.Duration) ([]byte, error) {
-	if timeout <= 0 {
-		timeout = DefaultRequestTimeout
+// Request sends a request and waits for the reply, bounded by ctx. An empty
+// `to` addresses the first server in the overlay whose handler accepts the
+// message type (anycast); otherwise the envelope is routed to the named
+// node. A ctx without a deadline gets DefaultRequestTimeout. Error replies
+// from the remote handler surface as *RemoteError; a node with no usable
+// route fails fast with ErrNoRoute instead of waiting out the deadline.
+func (n *Node) Request(ctx context.Context, to string, t wire.MsgType, payload []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultRequestTimeout)
+		defer cancel()
 	}
 	start := time.Now()
 	defer func() {
@@ -338,6 +428,16 @@ func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.D
 	if n.closed {
 		n.mu.Unlock()
 		return nil, net.ErrClosed
+	}
+	// Fast-fail when nothing could possibly answer: no peers to carry the
+	// envelope, and no local handler that could accept it (locally-routable
+	// only for self- or anycast-addressed requests).
+	if len(n.peers) == 0 && to != n.id.ID {
+		localOK := to == "" && n.handlers[t] != nil
+		if !localOK {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("overlay: request %v to %q: %w", t, to, ErrNoRoute)
+		}
 	}
 	n.pending[id] = ch
 	n.mu.Unlock()
@@ -364,15 +464,30 @@ func (n *Node) Request(to string, t wire.MsgType, payload []byte, timeout time.D
 			return nil, net.ErrClosed
 		}
 		if reply.Err != "" {
-			return nil, fmt.Errorf("overlay: remote error: %s", reply.Err)
+			return nil, &RemoteError{Msg: reply.Err}
 		}
 		return reply.Payload, nil
-	case <-time.After(timeout):
-		n.Obs.Metrics.Counter("copernicus_overlay_request_timeouts_total",
-			"Overlay requests that hit their deadline, by message type.",
-			obs.L("node", n.id.ID, "type", string(t))).Inc()
-		return nil, fmt.Errorf("overlay: request %v to %q timed out after %v", t, to, timeout)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			n.Obs.Metrics.Counter("copernicus_overlay_request_timeouts_total",
+				"Overlay requests that hit their deadline, by message type.",
+				obs.L("node", n.id.ID, "type", string(t))).Inc()
+			return nil, fmt.Errorf("overlay: request %v to %q timed out after %v: %w", t, to, time.Since(start).Round(time.Millisecond), ctx.Err())
+		}
+		return nil, fmt.Errorf("overlay: request %v to %q cancelled: %w", t, to, ctx.Err())
 	}
+}
+
+// RequestTimeout is a convenience wrapper for callers (mostly tests) that
+// think in deadlines rather than contexts. A non-positive timeout selects
+// DefaultRequestTimeout.
+func (n *Node) RequestTimeout(to string, t wire.MsgType, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.Request(ctx, to, t, payload)
 }
 
 // route processes an envelope arriving from origin ("" = locally created).
@@ -446,8 +561,6 @@ func (n *Node) reply(req *wire.Envelope, payload []byte, err error, origin strin
 	n.mu.RUnlock()
 	if link != nil {
 		if sendErr := link.send(rep); sendErr == nil {
-			link.txMsgs.Inc()
-			link.txBytes.Add(uint64(len(rep.Payload)))
 			return
 		}
 		n.sendErrors().Inc()
@@ -475,10 +588,7 @@ func (n *Node) forward(env *wire.Envelope, origin string) {
 		if err := p.send(&out); err != nil {
 			n.sendErrors().Inc()
 			n.log().Warn("forwarding failed", "node", n.id.ID, "peer", p.id, "err", err)
-			continue
 		}
-		p.txMsgs.Inc()
-		p.txBytes.Add(uint64(len(out.Payload)))
 	}
 }
 

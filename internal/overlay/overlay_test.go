@@ -115,7 +115,7 @@ func TestRequestResponseDirect(t *testing.T) {
 		}
 		return append([]byte("pong:"), payload...), nil
 	})
-	reply, err := b.Request(a.ID(), wire.MsgPing, []byte("x"), time.Second)
+	reply, err := b.RequestTimeout(a.ID(), wire.MsgPing, []byte("x"), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestRequestErrorPropagates(t *testing.T) {
 	a.Handle(wire.MsgPing, func(string, []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	})
-	_, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second)
+	_, err := b.RequestTimeout(a.ID(), wire.MsgPing, nil, time.Second)
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
 	}
@@ -137,7 +137,7 @@ func TestRequestErrorPropagates(t *testing.T) {
 
 func TestRequestNoHandler(t *testing.T) {
 	a, b, _ := twoNodes(t)
-	_, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second)
+	_, err := b.RequestTimeout(a.ID(), wire.MsgPing, nil, time.Second)
 	if err == nil || !strings.Contains(err.Error(), "no handler") {
 		t.Errorf("err = %v", err)
 	}
@@ -146,7 +146,7 @@ func TestRequestNoHandler(t *testing.T) {
 func TestRequestTimeout(t *testing.T) {
 	_, b, _ := twoNodes(t)
 	// Address a node that does not exist.
-	_, err := b.Request("ffffffffffffffff", wire.MsgPing, nil, 100*time.Millisecond)
+	_, err := b.RequestTimeout("ffffffffffffffff", wire.MsgPing, nil, 100*time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Errorf("err = %v", err)
 	}
@@ -181,7 +181,7 @@ func TestMultiHopRouting(t *testing.T) {
 		return []byte("from-a"), nil
 	})
 	// c is not directly connected to a; the request must relay through b.
-	reply, err := c.Request(a.ID(), wire.MsgPing, nil, 2*time.Second)
+	reply, err := c.RequestTimeout(a.ID(), wire.MsgPing, nil, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestAnycastFindsFirstWillingServer(t *testing.T) {
 	a.Handle(wire.MsgAnnounce, func(string, []byte) ([]byte, error) {
 		return []byte("work-from-a"), nil
 	})
-	reply, err := c.Request("", wire.MsgAnnounce, []byte("resources"), 2*time.Second)
+	reply, err := c.RequestTimeout("", wire.MsgAnnounce, []byte("resources"), 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestAnycastPrefersNearServer(t *testing.T) {
 		bCount.Add(1)
 		return []byte("from-b"), nil
 	})
-	reply, err := c.Request("", wire.MsgAnnounce, nil, 2*time.Second)
+	reply, err := c.RequestTimeout("", wire.MsgAnnounce, nil, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestPeersAndClose(t *testing.T) {
 	b.Close()
 	waitFor(t, func() bool { return len(a.Peers()) == 0 })
 	// Requests after close fail fast.
-	if _, err := b.Request(a.ID(), wire.MsgPing, nil, time.Second); err == nil {
+	if _, err := b.RequestTimeout(a.ID(), wire.MsgPing, nil, time.Second); err == nil {
 		t.Error("request after close should fail")
 	}
 	// Double close is safe.
@@ -294,7 +294,7 @@ func TestMemNetworkMetering(t *testing.T) {
 	before := net.BytesSent()
 	a.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) { return p, nil })
 	payload := make([]byte, 10000)
-	if _, err := b.Request(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
+	if _, err := b.RequestTimeout(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	moved := net.BytesSent() - before
@@ -357,7 +357,7 @@ func TestTLSTransportEndToEnd(t *testing.T) {
 	if _, err := b.ConnectPeer(addr); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := b.Request(a.ID(), wire.MsgPing, []byte("secure"), 5*time.Second)
+	reply, err := b.RequestTimeout(a.ID(), wire.MsgPing, []byte("secure"), 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,6 +413,32 @@ func TestSeenCacheEviction(t *testing.T) {
 	}
 }
 
+// TestSeenCacheDuplicateRedelivery pins the dedup behaviour the retry layer
+// leans on: a retried or multi-path flooded envelope (same sender, same
+// request ID) is suppressed on every redelivery, not just the first, while
+// the same request ID from a different sender is its own key.
+func TestSeenCacheDuplicateRedelivery(t *testing.T) {
+	s := newSeenCache(16)
+	if !s.firstTime("w1", 7, false) {
+		t.Fatal("first delivery reported seen")
+	}
+	for i := 0; i < 3; i++ {
+		if s.firstTime("w1", 7, false) {
+			t.Fatalf("redelivery %d not suppressed", i+1)
+		}
+	}
+	if !s.firstTime("w2", 7, false) {
+		t.Error("same request ID from another sender wrongly suppressed")
+	}
+	// The reply to a deduped request is still fresh exactly once.
+	if !s.firstTime("w1", 7, true) {
+		t.Fatal("reply suppressed by its own request")
+	}
+	if s.firstTime("w1", 7, true) {
+		t.Error("duplicate reply not suppressed")
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(3 * time.Second)
@@ -441,8 +467,44 @@ func BenchmarkRequestRoundTripMem(b *testing.B) {
 	payload := []byte(fmt.Sprintf("%0128d", 1)) // ~heartbeat-sized
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Request(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
+		if _, err := c.RequestTimeout(a.ID(), wire.MsgPing, payload, time.Second); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestHandshakeVersionMismatch dials a listener that answers the hello with
+// a future protocol version and checks the typed sentinel surfaces through
+// ConnectPeer, so operators can tell a version skew from a flaky link.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	net := NewMemNetwork()
+	tr := net.Transport()
+	ln, err := tr.Listen("future-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = wire.ReadEnvelope(conn) // swallow the initiator's hello
+		_ = wire.WriteEnvelope(conn, &wire.Envelope{Version: 99, Type: "hello", From: "future"})
+	}()
+
+	a := NewNode(NewIdentityFromSeed(1), NewTrustStore(), tr)
+	defer a.Close()
+	_, err = a.ConnectPeer("future-node")
+	if err == nil {
+		t.Fatal("handshake against version-99 peer succeeded")
+	}
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("errors.Is(err, ErrVersionMismatch) = false for %v", err)
+	}
+	var ve *wire.VersionError
+	if !errors.As(err, &ve) || ve.Got != 99 {
+		t.Errorf("error %v does not carry the peer's version", err)
 	}
 }

@@ -11,6 +11,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -21,6 +23,7 @@ import (
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/queue"
+	"copernicus/internal/retry"
 	"copernicus/internal/wire"
 )
 
@@ -32,9 +35,20 @@ type Config struct {
 	// RelayTimeout bounds the anycast search for work on behalf of a
 	// locally-announced worker. Default 2 s.
 	RelayTimeout time.Duration
+	// RelayCooldown is how long the server skips further relay searches
+	// after one came back empty. Without it an idle fleet death-spirals:
+	// every announce against an empty overlay blocks its worker link for
+	// the full RelayTimeout, which can exceed the worker's own per-attempt
+	// deadline so no announce ever succeeds. Default RelayTimeout.
+	RelayCooldown time.Duration
 	// MaxRetries is how many times a command is requeued after worker
 	// failures before the controller sees a terminal failure. Default 2.
 	MaxRetries int
+	// Retry is the backoff policy for overlay requests the server makes on
+	// its own behalf (announce relays, upstream worker-failure reports).
+	// Zero fields take the retry package defaults; PerAttempt defaults to
+	// RelayTimeout.
+	Retry retry.Policy
 	// FSToken identifies the server's filesystem for the shared-FS
 	// optimisation; empty disables it.
 	FSToken string
@@ -51,12 +65,19 @@ func (c *Config) fill() {
 	if c.RelayTimeout <= 0 {
 		c.RelayTimeout = 2 * time.Second
 	}
+	if c.RelayCooldown <= 0 {
+		c.RelayCooldown = c.RelayTimeout
+	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
+	if c.Retry.PerAttempt <= 0 {
+		c.Retry.PerAttempt = c.RelayTimeout
+	}
+	c.Retry.Obs = c.Obs
 }
 
 // cmdStatus tracks a command through its lifecycle.
@@ -113,12 +134,14 @@ type Server struct {
 	reg  *controller.Registry
 	cfg  Config
 	q    *queue.Queue
+	rpol retry.Policy
 	log  *obs.Logger
 	met  serverMetrics
 
-	mu       sync.Mutex
-	projects map[string]*project
-	workers  map[string]*workerState
+	mu              sync.Mutex
+	projects        map[string]*project
+	workers         map[string]*workerState
+	relayEmptyUntil time.Time
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -130,6 +153,8 @@ type serverMetrics struct {
 	finished        *obs.Counter
 	failed          *obs.Counter
 	requeued        *obs.Counter
+	duplicates      *obs.Counter
+	orphaned        *obs.Counter
 	heartbeats      *obs.Counter
 	heartbeatMisses *obs.Counter
 	dispatchLatency *obs.Histogram
@@ -156,6 +181,10 @@ func newServerMetrics(o *obs.Obs, nodeID string) serverMetrics {
 			"Commands that failed terminally after exhausting retries.", node),
 		requeued: m.Counter("copernicus_commands_requeued_total",
 			"Commands requeued after a worker loss (checkpoint hand-off).", node),
+		duplicates: m.Counter("copernicus_results_duplicate_total",
+			"Redelivered results ignored because the command was already settled.", node),
+		orphaned: m.Counter("copernicus_commands_orphaned_total",
+			"Assigned commands recovered because their workload reply never reached the worker.", node),
 		heartbeats: m.Counter("copernicus_heartbeats_total",
 			"Worker heartbeats received.", node),
 		heartbeatMisses: m.Counter("copernicus_heartbeat_misses_total",
@@ -186,6 +215,8 @@ func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 		workers:  make(map[string]*workerState),
 		stop:     make(chan struct{}),
 	}
+	s.rpol = cfg.Retry
+	s.rpol.Scope = node.ID()
 	nodeLabel := obs.L("node", node.ID())
 	s.q.SetObs(cfg.Obs, nodeLabel)
 	cfg.Obs.Metrics.GaugeFunc("copernicus_workers",
@@ -296,9 +327,13 @@ func (s *Server) Project(name string) (wire.ProjectStatus, bool) {
 	return s.statusLocked(p), true
 }
 
-// WaitProject blocks until the named project finishes or fails, or the
-// timeout elapses.
-func (s *Server) WaitProject(name string, timeout time.Duration) (wire.ProjectStatus, error) {
+// WaitProject blocks until the named project finishes or fails, or ctx is
+// done. Bound the wait with context.WithTimeout (or use the fabric/client
+// helpers, which do).
+func (s *Server) WaitProject(ctx context.Context, name string) (wire.ProjectStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	p := s.projects[name]
 	s.mu.Unlock()
@@ -307,8 +342,8 @@ func (s *Server) WaitProject(name string, timeout time.Duration) (wire.ProjectSt
 	}
 	select {
 	case <-p.done:
-	case <-time.After(timeout):
-		return wire.ProjectStatus{}, fmt.Errorf("server: project %q still running after %v", name, timeout)
+	case <-ctx.Done():
+		return wire.ProjectStatus{}, fmt.Errorf("server: project %q still running: %w", name, ctx.Err())
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -451,25 +486,58 @@ func (s *Server) handleAnnounce(from string, payload []byte) ([]byte, error) {
 		return nil, overlay.ErrNotHandled
 	}
 	// Direct announcement from one of our workers: search the overlay on
-	// its behalf.
-	s.touchWorker(req.Info)
-	relay := req
-	relay.Relayed = true
-	rp, err := wire.Marshal(&relay)
-	if err != nil {
-		return nil, err
-	}
-	reply, err := s.node.Request("", wire.MsgAnnounce, rp, s.cfg.RelayTimeout)
-	if err == nil {
-		var remote wire.Workload
-		if derr := wire.Unmarshal(reply, &remote); derr == nil && len(remote.Commands) > 0 {
-			s.recordRelayedWorkload(req.Info.ID, &remote)
-			return reply, nil
+	// its behalf — unless a recent search already found the overlay empty,
+	// in which case answer immediately and let the worker poll again.
+	s.recoverOrphans(req.Info.ID, s.touchWorker(req.Info))
+	s.mu.Lock()
+	skipRelay := time.Now().Before(s.relayEmptyUntil)
+	s.mu.Unlock()
+	if !skipRelay {
+		relay := req
+		relay.Relayed = true
+		rp, err := wire.Marshal(&relay)
+		if err != nil {
+			return nil, err
 		}
+		reply, err := s.relayRequest("announce_relay", "", wire.MsgAnnounce, rp)
+		if err == nil {
+			var remote wire.Workload
+			if derr := wire.Unmarshal(reply, &remote); derr == nil && len(remote.Commands) > 0 {
+				s.recordRelayedWorkload(req.Info.ID, &remote)
+				return reply, nil
+			}
+		}
+		s.mu.Lock()
+		s.relayEmptyUntil = time.Now().Add(s.cfg.RelayCooldown)
+		s.mu.Unlock()
 	}
 	// Nothing anywhere: empty workload, worker will poll again.
 	empty := wire.Workload{HeartbeatSeconds: s.cfg.HeartbeatInterval.Seconds()}
 	return wire.Marshal(&empty)
+}
+
+// relayRequest runs one overlay request on the server's own behalf under
+// the retry policy. Only transport failures (dropped links, truncated
+// frames) are retried: an anycast deadline means "no server has work", a
+// missing route means the same, and a remote handler error will not change
+// on retry — all three stop immediately.
+func (s *Server) relayRequest(op, to string, t wire.MsgType, payload []byte) ([]byte, error) {
+	var reply []byte
+	err := s.rpol.Do(context.Background(), op, func(ctx context.Context) error {
+		r, err := s.node.Request(ctx, to, t, payload)
+		if err != nil {
+			var remote *overlay.RemoteError
+			if errors.As(err, &remote) ||
+				errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, overlay.ErrNoRoute) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		reply = r
+		return nil
+	})
+	return reply, err
 }
 
 // markAssigned updates project command states for a local match and, when
@@ -503,7 +571,7 @@ func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from strin
 		})
 	}
 	if direct {
-		s.touchWorker(info)
+		orphans := s.touchWorker(info)
 		s.mu.Lock()
 		if ws := s.workers[info.ID]; ws != nil {
 			for _, cmd := range wl.Commands {
@@ -511,6 +579,7 @@ func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from strin
 			}
 		}
 		s.mu.Unlock()
+		s.recoverOrphans(info.ID, orphans)
 	}
 }
 
@@ -531,8 +600,12 @@ func (s *Server) recordRelayedWorkload(workerID string, wl *wire.Workload) {
 // touchWorker refreshes (or creates) the liveness record of a directly
 // announcing worker. A worker only announces once its previous workload has
 // fully completed, so the command record is reset here rather than tracked
-// per result.
-func (s *Server) touchWorker(info wire.WorkerInfo) {
+// per result. Commands still on record at that point are orphans — the
+// workload reply that assigned them was lost on a severed link and the
+// worker never knew about them — and are returned for recovery; nobody
+// will ever run or heartbeat them otherwise, and the worker's own
+// announces keep its liveness fresh so the reaper never would.
+func (s *Server) touchWorker(info wire.WorkerInfo) map[string]string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ws := s.workers[info.ID]
@@ -540,9 +613,28 @@ func (s *Server) touchWorker(info wire.WorkerInfo) {
 		ws = &workerState{}
 		s.workers[info.ID] = ws
 	}
+	orphans := ws.commands
 	ws.commands = make(map[string]string)
 	ws.info = info
 	ws.lastSeen = time.Now()
+	return orphans
+}
+
+// recoverOrphans requeues commands stranded by a lost workload reply. It
+// reports asynchronously so the announce reply is not delayed by upstream
+// retry budgets.
+func (s *Server) recoverOrphans(workerID string, commands map[string]string) {
+	if len(commands) == 0 {
+		return
+	}
+	s.met.orphaned.Inc()
+	s.log.Warn("recovering commands orphaned by idle re-announce",
+		"worker", workerID, "commands", len(commands))
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.reportFailed(workerID, commands)
+	}()
 }
 
 // withProjectCommand runs f under the project lock if both exist.
@@ -583,22 +675,49 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 		res.Output = data
 	}
 
+	reply, settledWorker, err := s.ingestResult(p, &res)
+	if settledWorker != "" {
+		// The command is settled: drop it from the worker's assignment record
+		// so its next idle announce is not mistaken for an orphaned workload.
+		// Done outside the project lock (reapDeadWorkers and recoverCommands
+		// nest p.mu inside s.mu, so the reverse order here would deadlock).
+		s.mu.Lock()
+		if ws := s.workers[settledWorker]; ws != nil {
+			delete(ws.commands, res.CommandID)
+		}
+		s.mu.Unlock()
+	}
+	return reply, err
+}
+
+// ingestResult applies one result under the project lock and returns the ID
+// of the worker whose assignment it settled ("" if none).
+func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte, settledWorker string, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	cs := p.commands[res.CommandID]
 	if cs == nil {
-		return []byte("ignored"), nil
+		return []byte("ignored"), "", nil
 	}
 	if res.Partial {
 		// Intermediate checkpoint for failover; §2.3's transparent hand-off.
 		cs.checkpoint = res.Checkpoint
-		return []byte("checkpointed"), nil
+		return []byte("checkpointed"), "", nil
 	}
 	if cs.status == cmdTerminated || cs.status == cmdDone {
-		return []byte("ignored"), nil
+		// Idempotent redelivery: a retried or spool-redelivered upload of a
+		// result we already counted. Acknowledge success so the sender stops.
+		s.met.duplicates.Inc()
+		return []byte("ignored"), cs.worker, nil
 	}
 	if !res.OK {
-		return nil, fmt.Errorf("server: worker-reported failure for %s: %s", res.CommandID, res.Error)
+		return nil, cs.worker, fmt.Errorf("server: worker-reported failure for %s: %s", res.CommandID, res.Error)
+	}
+	if cs.status == cmdQueued {
+		// A "dead" worker's result arrived after its command was requeued
+		// from checkpoint: accept the work and pull the duplicate dispatch
+		// before another worker wastes cycles on it.
+		s.q.Remove(res.CommandID)
 	}
 	cs.status = cmdDone
 	p.finished++
@@ -617,10 +736,10 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 		},
 	})
 	if p.state != "running" {
-		return []byte("ok"), nil
+		return []byte("ok"), cs.worker, nil
 	}
 	reactStart := time.Now()
-	err := p.ctrl.CommandFinished(s.contextFor(p), &res)
+	rerr := p.ctrl.CommandFinished(s.contextFor(p), res)
 	reaction := time.Since(reactStart)
 	s.met.controllerTime.Observe(reaction.Seconds())
 	span := obs.Span{
@@ -630,17 +749,17 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 		Start:    reactStart,
 		Duration: reaction,
 	}
-	if err != nil {
-		span.Err = err.Error()
+	if rerr != nil {
+		span.Err = rerr.Error()
 		s.cfg.Obs.Trace.Record(span)
 		p.state = "failed"
-		p.failErr = err.Error()
+		p.failErr = rerr.Error()
 		close(p.done)
-		s.log.Error("controller reaction failed", "project", p.name, "cmd", res.CommandID, "err", err)
-		return nil, err
+		s.log.Error("controller reaction failed", "project", p.name, "cmd", res.CommandID, "err", rerr)
+		return nil, cs.worker, rerr
 	}
 	s.cfg.Obs.Trace.Record(span)
-	return []byte("ok"), nil
+	return []byte("ok"), cs.worker, nil
 }
 
 // --- heartbeats and failure recovery ---
@@ -724,24 +843,41 @@ func (s *Server) reapDeadWorkers() {
 		s.met.heartbeatMisses.Inc()
 		s.log.Warn("worker missed heartbeats, recovering commands",
 			"worker", v.id, "commands", len(v.commands))
-		// Group by origin server.
-		byOrigin := make(map[string][]string)
-		for cmdID, origin := range v.commands {
-			byOrigin[origin] = append(byOrigin[origin], cmdID)
+		s.reportFailed(v.id, v.commands)
+	}
+}
+
+// reportFailed recovers the given worker's commands (cmdID → origin server):
+// local origins are requeued directly, remote origins receive a retried
+// WorkerFailed report.
+func (s *Server) reportFailed(workerID string, commands map[string]string) {
+	byOrigin := make(map[string][]string)
+	for cmdID, origin := range commands {
+		byOrigin[origin] = append(byOrigin[origin], cmdID)
+	}
+	for origin, ids := range byOrigin {
+		wf := wire.WorkerFailed{WorkerID: workerID, CommandIDs: ids}
+		if origin == s.node.ID() {
+			s.recoverCommands(wf)
+			continue
 		}
-		for origin, ids := range byOrigin {
-			wf := wire.WorkerFailed{WorkerID: v.id, CommandIDs: ids}
-			if origin == s.node.ID() {
-				s.recoverCommands(wf)
-				continue
+		payload, err := wire.Marshal(&wf)
+		if err != nil {
+			continue
+		}
+		// Unlike announce relays, this report must land: losing it strands
+		// the origin's commands until its own (much slower) recovery. Retry
+		// every transport failure including timeouts and missing routes.
+		err = s.rpol.Do(context.Background(), "worker_failed_report", func(ctx context.Context) error {
+			_, rerr := s.node.Request(ctx, origin, wire.MsgWorkerFailed, payload)
+			var remote *overlay.RemoteError
+			if errors.As(rerr, &remote) {
+				return retry.Permanent(rerr)
 			}
-			payload, err := wire.Marshal(&wf)
-			if err != nil {
-				continue
-			}
-			if _, err := s.node.Request(origin, wire.MsgWorkerFailed, payload, s.cfg.RelayTimeout); err != nil {
-				s.log.Error("reporting worker failure upstream failed", "origin", origin, "err", err)
-			}
+			return rerr
+		})
+		if err != nil {
+			s.log.Error("reporting worker failure upstream failed", "origin", origin, "err", err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,9 +9,18 @@ import (
 	"time"
 
 	"copernicus/internal/controller"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/wire"
 )
+
+// ctxTimeout returns a context cancelled after d, cleaned up with the test.
+func ctxTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // testController is a scriptable plugin that records events.
 type testController struct {
@@ -102,7 +112,7 @@ func (r *rig) request(t *testing.T, typ wire.MsgType, req any, resp any) error {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reply, err := r.client.Request(r.srv.Node().ID(), typ, payload, 5*time.Second)
+	reply, err := r.client.RequestTimeout(r.srv.Node().ID(), typ, payload, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -221,7 +231,7 @@ func TestResultDrivesController(t *testing.T) {
 	if fin != 1 {
 		t.Fatalf("controller saw %d completions", fin)
 	}
-	st, err := r.srv.WaitProject("proj", time.Second)
+	st, err := r.srv.WaitProject(ctxTimeout(t, time.Second), "proj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +317,7 @@ func TestWorkerFailureRequeuesWithCheckpoint(t *testing.T) {
 	if err := r.request(t, wire.MsgResult, &res, nil); err != nil {
 		t.Fatal(err)
 	}
-	st, err := r.srv.WaitProject("proj", time.Second)
+	st, err := r.srv.WaitProject(ctxTimeout(t, time.Second), "proj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,5 +410,98 @@ func TestProjectSeedStable(t *testing.T) {
 	}
 	if seedFromName("a") == seedFromName("b") {
 		t.Error("seeds collide trivially")
+	}
+}
+
+// metricValue sums every sample of the named metric in o's text exposition.
+func metricValue(t *testing.T, o *obs.Obs, name string) float64 {
+	t.Helper()
+	var buf strings.Builder
+	o.Metrics.WriteText(&buf)
+	total := 0.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+func TestDuplicateResultCountedInMetrics(t *testing.T) {
+	o := obs.New()
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour, Obs: o}, ctrl)
+	r.submit(t, "proj")
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	res := wire.CommandResult{CommandID: "c1", Project: "proj", WorkerID: "w1", OK: true}
+	for i := 0; i < 3; i++ { // first delivery plus two redeliveries
+		if err := r.request(t, wire.MsgResult, &res, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fin, _ := ctrl.counts(); fin != 1 {
+		t.Errorf("controller saw %d completions for one command", fin)
+	}
+	if got := metricValue(t, o, "copernicus_results_duplicate_total"); got != 2 {
+		t.Errorf("copernicus_results_duplicate_total = %g, want 2", got)
+	}
+}
+
+// TestLateResultAfterRequeueAccepted covers the spool-and-redeliver race: a
+// worker is declared dead and its command requeued, then its result arrives
+// anyway. The server must accept it (work is work) and drop the queued copy
+// so no second worker runs the command again.
+func TestLateResultAfterRequeueAccepted(t *testing.T) {
+	o := obs.New()
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}, finishOn: 1}
+	r := newRig(t, Config{HeartbeatInterval: 40 * time.Millisecond, Obs: o}, ctrl)
+	r.submit(t, "proj")
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Commands) != 1 {
+		t.Fatalf("workload = %v", wl.Commands)
+	}
+	// w1 sends no heartbeats; wait for the reaper to requeue c1 without
+	// consuming the queue ourselves.
+	deadline := time.Now().Add(3 * time.Second)
+	for metricValue(t, o, "copernicus_commands_requeued_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("command never requeued after worker death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The "dead" worker's result shows up late (e.g. redelivered from its
+	// spool after a partition healed).
+	res := wire.CommandResult{CommandID: "c1", Project: "proj", WorkerID: "w1", OK: true}
+	if err := r.request(t, wire.MsgResult, &res, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.srv.WaitProject(ctxTimeout(t, 2*time.Second), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "finished" {
+		t.Errorf("state = %q after late result", st.State)
+	}
+	// The queued duplicate must be gone: a fresh worker gets no work.
+	var wl2 wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w2", 1), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 0 {
+		t.Errorf("requeued copy still dispatched after late result: %v", wl2.Commands)
+	}
+	if fin, _ := ctrl.counts(); fin != 1 {
+		t.Errorf("controller saw %d completions", fin)
 	}
 }

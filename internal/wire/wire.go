@@ -13,12 +13,32 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
 
 // ProtocolVersion guards against mixed-version overlays.
 const ProtocolVersion = 1
+
+// ErrVersionMismatch is the sentinel for cross-version envelope rejection;
+// match it with errors.Is. The concrete error is a *VersionError carrying
+// both versions.
+var ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+
+// VersionError reports an envelope whose protocol version differs from this
+// node's. It is returned during the overlay handshake (and any later read)
+// instead of attempting to decode a frame layout we do not understand.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: protocol version %d, want %d", e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrVersionMismatch) succeed for VersionErrors.
+func (e *VersionError) Is(target error) bool { return target == ErrVersionMismatch }
 
 // MaxFrameBytes bounds a single frame; anything larger is rejected as
 // corrupt rather than allocated blindly.
@@ -259,7 +279,7 @@ func ReadEnvelope(r io.Reader) (*Envelope, error) {
 		return nil, err
 	}
 	if env.Version != ProtocolVersion {
-		return nil, fmt.Errorf("wire: protocol version %d, want %d", env.Version, ProtocolVersion)
+		return nil, &VersionError{Got: env.Version, Want: ProtocolVersion}
 	}
 	return &env, nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -180,5 +181,30 @@ func TestPropertyFrameRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestVersionMismatchTyped(t *testing.T) {
+	var buf bytes.Buffer
+	env := &Envelope{Version: 99, Type: "hello", From: "future-node"}
+	if err := WriteEnvelope(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadEnvelope(&buf)
+	if err == nil {
+		t.Fatal("version-99 envelope accepted")
+	}
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("errors.Is(err, ErrVersionMismatch) = false for %v", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v is not a *VersionError", err)
+	}
+	if ve.Got != 99 || ve.Want != ProtocolVersion {
+		t.Errorf("VersionError = %+v, want Got=99 Want=%d", ve, ProtocolVersion)
+	}
+	if !strings.Contains(ve.Error(), "protocol version 99") {
+		t.Errorf("message %q does not name the offending version", ve.Error())
 	}
 }

@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"copernicus/internal/engines"
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
+	"copernicus/internal/retry"
 	"copernicus/internal/wire"
 )
 
@@ -30,8 +33,25 @@ type Config struct {
 	// PollInterval is the idle re-announcement period (default 500 ms —
 	// batch systems would use seconds; tests use milliseconds).
 	PollInterval time.Duration
-	// RequestTimeout bounds each overlay request (default 10 s).
+	// RequestTimeout bounds each overlay request attempt (default 10 s).
 	RequestTimeout time.Duration
+	// Retry is the backoff policy applied to every overlay request the
+	// worker makes (announce, heartbeat, result upload). Zero fields take
+	// the retry package defaults; PerAttempt defaults to RequestTimeout.
+	Retry retry.Policy
+	// ServerAddrs lists transport addresses of known servers. When the home
+	// peer stays unreachable for RehomeAfter consecutive announce rounds,
+	// the worker dials the next address round-robin and adopts whichever
+	// server answers as its new home — the paper's "connect to the nearest
+	// available server" under churn.
+	ServerAddrs []string
+	// RehomeAfter is the number of consecutive failed announce rounds
+	// (post-retry) before the worker tries another server (default 2).
+	RehomeAfter int
+	// ResultSpoolDir, when set, lets the worker persist results it cannot
+	// deliver to any server and redeliver them after the next successful
+	// announcement, so finished CPU-hours survive a full partition.
+	ResultSpoolDir string
 	// FSToken and SpoolDir enable the shared-filesystem result path: when
 	// the assigning server advertises the same token, results are written
 	// under SpoolDir and passed by reference.
@@ -56,22 +76,35 @@ func (c *Config) fill() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.RehomeAfter <= 0 {
+		c.RehomeAfter = 2
+	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
 	}
+	if c.Retry.PerAttempt <= 0 {
+		c.Retry.PerAttempt = c.RequestTimeout
+	}
+	c.Retry.Obs = c.Obs
 }
 
 // Worker executes commands against a home server.
 type Worker struct {
 	node    *overlay.Node
-	home    string // node ID of the nearest server
 	engines map[string]engines.Engine
 	cfg     Config
+	rpol    retry.Policy
 	log     *obs.Logger
 	met     workerMetrics
 
 	mu      sync.Mutex
+	home    string // node ID of the current home server
 	running map[string]context.CancelFunc
+
+	// announceFails counts consecutive post-retry announce failures (only
+	// touched from the Run loop); nextServer round-robins ServerAddrs.
+	announceFails int
+	nextServer    int
 
 	// Completed counts finished commands (for tests and monitoring).
 	completed int
@@ -85,6 +118,9 @@ type workerMetrics struct {
 	commandsOK      *obs.Counter
 	commandsFailed  *obs.Counter
 	resultErrors    *obs.Counter
+	resultsSpooled  *obs.Counter
+	redelivered     *obs.Counter
+	rehomes         *obs.Counter
 	checkpointBytes *obs.Histogram
 }
 
@@ -101,6 +137,12 @@ func newWorkerMetrics(o *obs.Obs, workerID string) workerMetrics {
 			"Commands whose engine run returned an error.", l),
 		resultErrors: o.Metrics.Counter("copernicus_worker_result_errors_total",
 			"Result uploads that failed to reach the project server.", l),
+		resultsSpooled: o.Metrics.Counter("copernicus_worker_results_spooled_total",
+			"Finished results persisted to disk because no server was reachable.", l),
+		redelivered: o.Metrics.Counter("copernicus_worker_results_redelivered_total",
+			"Spooled results successfully delivered after connectivity returned.", l),
+		rehomes: o.Metrics.Counter("copernicus_worker_rehomes_total",
+			"Times this worker adopted a different home server after its peer became unreachable.", l),
 		checkpointBytes: o.Metrics.Histogram("copernicus_worker_checkpoint_bytes",
 			"Size of partial-result checkpoints reported for failover.",
 			obs.SizeBuckets(), l),
@@ -130,6 +172,8 @@ func New(node *overlay.Node, home string, engs []engines.Engine, cfg Config) (*W
 		}
 		w.engines[e.Name()] = e
 	}
+	w.rpol = cfg.Retry
+	w.rpol.Scope = node.ID()
 	w.log = cfg.Obs.Log.Named("worker").With("worker", node.ID())
 	w.met = newWorkerMetrics(cfg.Obs, node.ID())
 	return w, nil
@@ -138,11 +182,60 @@ func New(node *overlay.Node, home string, engs []engines.Engine, cfg Config) (*W
 // ID returns the worker's overlay node ID.
 func (w *Worker) ID() string { return w.node.ID() }
 
+// Home returns the node ID of the current home server (it changes when the
+// worker re-homes after a partition).
+func (w *Worker) Home() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.home
+}
+
+func (w *Worker) setHome(id string) {
+	w.mu.Lock()
+	w.home = id
+	w.mu.Unlock()
+}
+
 // Completed returns the number of commands this worker has finished.
 func (w *Worker) Completed() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.completed
+}
+
+// RunningCommands returns the IDs of commands currently executing (for
+// tests and the chaos harness, which partitions a worker only once it is
+// actually busy).
+func (w *Worker) RunningCommands() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.running))
+	for id := range w.running {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// request runs one overlay request under the worker's retry policy. Remote
+// handler errors are permanent (the request was delivered; the answer will
+// not change); transport errors — no route, timeouts, dropped links — are
+// retried with backoff.
+func (w *Worker) request(ctx context.Context, op, to string, t wire.MsgType, payload []byte) ([]byte, error) {
+	var reply []byte
+	err := w.rpol.Do(ctx, op, func(ctx context.Context) error {
+		r, err := w.node.Request(ctx, to, t, payload)
+		if err != nil {
+			var remote *overlay.RemoteError
+			if errors.As(err, &remote) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		reply = r
+		return nil
+	})
+	return reply, err
 }
 
 // info builds the announcement payload.
@@ -167,15 +260,21 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		wl, err := w.announce()
+		wl, err := w.announce(ctx)
 		if err != nil {
 			w.met.announceErrors.Inc()
 			w.log.Warn("announce failed", "err", err)
+			w.announceFails++
+			if w.announceFails >= w.cfg.RehomeAfter {
+				w.rehome()
+			}
 			if !sleepCtx(ctx, w.cfg.PollInterval) {
 				return ctx.Err()
 			}
 			continue
 		}
+		w.announceFails = 0
+		w.drainSpool(ctx)
 		if len(wl.Commands) == 0 {
 			if !sleepCtx(ctx, w.cfg.PollInterval) {
 				return ctx.Err()
@@ -196,13 +295,13 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // announce sends the resource announcement and decodes the workload.
-func (w *Worker) announce() (*wire.Workload, error) {
+func (w *Worker) announce(ctx context.Context) (*wire.Workload, error) {
 	w.met.announces.Inc()
 	payload, err := wire.Marshal(&wire.AnnounceRequest{Info: w.info()})
 	if err != nil {
 		return nil, err
 	}
-	reply, err := w.node.Request(w.home, wire.MsgAnnounce, payload, w.cfg.RequestTimeout)
+	reply, err := w.request(ctx, "announce", w.Home(), wire.MsgAnnounce, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +310,63 @@ func (w *Worker) announce() (*wire.Workload, error) {
 		return nil, err
 	}
 	return &wl, nil
+}
+
+// rehome dials the next known server address round-robin and adopts the
+// responding server as the new home peer. Called from the Run loop after
+// RehomeAfter consecutive announce failures; a worker with no configured
+// addresses keeps hammering its original home.
+func (w *Worker) rehome() {
+	if len(w.cfg.ServerAddrs) == 0 {
+		return
+	}
+	for i := 0; i < len(w.cfg.ServerAddrs); i++ {
+		addr := w.cfg.ServerAddrs[w.nextServer%len(w.cfg.ServerAddrs)]
+		w.nextServer++
+		peerID, err := w.node.ConnectPeer(addr)
+		if err != nil {
+			w.log.Warn("re-home dial failed", "addr", addr, "err", err)
+			continue
+		}
+		if peerID != w.Home() {
+			w.met.rehomes.Inc()
+			w.log.Info("re-homed to new server", "addr", addr, "server", peerID)
+		}
+		w.setHome(peerID)
+		w.announceFails = 0
+		return
+	}
+}
+
+// drainSpool redelivers results spooled during an outage, anycast so any
+// server holding the project can accept them. Files stay on disk until a
+// delivery succeeds; servers treat duplicates idempotently, so redelivering
+// a result the origin already counted is harmless.
+func (w *Worker) drainSpool(ctx context.Context) {
+	if w.cfg.ResultSpoolDir == "" {
+		return
+	}
+	paths, err := filepath.Glob(filepath.Join(w.cfg.ResultSpoolDir, "*.result"))
+	if err != nil || len(paths) == 0 {
+		return
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			w.log.Warn("reading spooled result failed", "path", path, "err", err)
+			continue
+		}
+		if _, err := w.request(ctx, "result_redeliver", "", wire.MsgResult, payload); err != nil {
+			w.log.Warn("redelivering spooled result failed", "path", path, "err", err)
+			return // connectivity degraded again; keep the rest for later
+		}
+		w.met.redelivered.Inc()
+		w.log.Info("redelivered spooled result", "path", path)
+		if err := os.Remove(path); err != nil {
+			w.log.Warn("removing delivered spool file failed", "path", path, "err", err)
+		}
+	}
 }
 
 // execute runs a workload: one goroutine per command plus a heartbeat
@@ -270,7 +426,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}, interv
 		if err != nil {
 			continue
 		}
-		reply, err := w.node.Request(w.home, wire.MsgHeartbeat, payload, w.cfg.RequestTimeout)
+		reply, err := w.request(ctx, "heartbeat", w.Home(), wire.MsgHeartbeat, payload)
 		if err != nil {
 			w.log.Warn("heartbeat failed", "err", err)
 			continue
@@ -306,7 +462,7 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 	}
 	if eng == nil {
 		res.Error = fmt.Sprintf("worker: no engine for %q", cmd.Type)
-		w.sendResult(cmd.Origin, &res)
+		w.sendResult(ctx, cmd.Origin, &res)
 		return
 	}
 
@@ -331,7 +487,7 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 			Checkpoint: checkpoint,
 		}
 		w.met.checkpointBytes.Observe(float64(len(checkpoint)))
-		w.sendResult(cmd.Origin, &partial)
+		w.sendResult(ctx, cmd.Origin, &partial)
 	}
 
 	start := time.Now()
@@ -362,7 +518,7 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 		w.met.commandsFailed.Inc()
 		w.log.Warn("command failed", "command", cmd.ID, "engine", cmd.Type, "err", err)
 		res.Error = err.Error()
-		w.sendResult(cmd.Origin, &res)
+		w.sendResult(ctx, cmd.Origin, &res)
 		return
 	}
 	w.met.commandsOK.Inc()
@@ -376,7 +532,7 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 	} else {
 		res.Output = output
 	}
-	w.sendResult(cmd.Origin, &res)
+	w.sendResult(ctx, cmd.Origin, &res)
 	w.mu.Lock()
 	w.completed++
 	w.mu.Unlock()
@@ -394,17 +550,56 @@ func (w *Worker) spoolOutput(cmdID string, output []byte) (string, error) {
 	return path, nil
 }
 
-// sendResult routes a result to the project server, falling back to anycast
-// if the origin is unknown.
-func (w *Worker) sendResult(origin string, res *wire.CommandResult) {
+// sendResult routes a result to the project server with the full
+// degradation ladder: retried direct delivery to the origin, then retried
+// anycast (any server in the overlay can accept and forward), and finally —
+// for completed results — a disk spool redelivered after the next
+// successful announcement. A finished command's CPU-hours are only lost if
+// every rung fails AND the spool is disabled.
+func (w *Worker) sendResult(ctx context.Context, origin string, res *wire.CommandResult) {
 	payload, err := wire.Marshal(res)
 	if err != nil {
 		w.met.resultErrors.Inc()
 		w.log.Error("encoding result failed", "command", res.CommandID, "err", err)
 		return
 	}
-	if _, err := w.node.Request(origin, wire.MsgResult, payload, w.cfg.RequestTimeout); err != nil {
-		w.met.resultErrors.Inc()
-		w.log.Warn("sending result failed", "command", res.CommandID, "err", err)
+	if origin != "" {
+		if _, err = w.request(ctx, "result", origin, wire.MsgResult, payload); err == nil {
+			return
+		}
+		w.log.Warn("sending result to origin failed, trying anycast", "command", res.CommandID, "err", err)
 	}
+	if _, err = w.request(ctx, "result_anycast", "", wire.MsgResult, payload); err == nil {
+		return
+	}
+	w.met.resultErrors.Inc()
+	if res.Partial {
+		// Checkpoints are advisory; the next one supersedes this one.
+		w.log.Warn("dropping undeliverable checkpoint", "command", res.CommandID, "err", err)
+		return
+	}
+	if w.cfg.ResultSpoolDir == "" {
+		w.log.Error("result lost: no server reachable and spooling disabled", "command", res.CommandID, "err", err)
+		return
+	}
+	if serr := w.spoolResult(res.CommandID, payload); serr != nil {
+		w.log.Error("spooling undeliverable result failed", "command", res.CommandID, "err", serr)
+		return
+	}
+	w.met.resultsSpooled.Inc()
+	w.log.Warn("spooled undeliverable result for redelivery", "command", res.CommandID, "err", err)
+}
+
+// spoolResult persists one wire-encoded CommandResult for later redelivery.
+func (w *Worker) spoolResult(cmdID string, payload []byte) error {
+	if err := os.MkdirAll(w.cfg.ResultSpoolDir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(cmdID, string(filepath.Separator), "_")
+	path := filepath.Join(w.cfg.ResultSpoolDir, name+".result")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

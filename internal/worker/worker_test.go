@@ -4,17 +4,30 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"copernicus/internal/chaos"
 	"copernicus/internal/controller"
 	"copernicus/internal/engines"
+	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
+	"copernicus/internal/retry"
 	"copernicus/internal/server"
 	"copernicus/internal/wire"
 )
+
+// ctxTimeout returns a context cancelled after d, cleaned up with the test.
+func ctxTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // fakeEngine is a scriptable engine for worker tests.
 type fakeEngine struct {
@@ -146,7 +159,7 @@ func (r *rig) submitProject(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The worker node doubles as a client for submission simplicity.
-	if _, err := r.wk.node.Request(r.srv.Node().ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
+	if _, err := r.wk.node.RequestTimeout(r.srv.Node().ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -172,7 +185,7 @@ func TestWorkerExecutesAndReports(t *testing.T) {
 	ctrl := &recController{submit: []wire.CommandSpec{mkCmd("c1", "sim"), mkCmd("c2", "sim")}, finishOn: 2}
 	r := newRig(t, ctrl, []engines.Engine{eng}, Config{Cores: 2})
 	r.submitProject(t)
-	st, err := r.srv.WaitProject("p", 10*time.Second)
+	st, err := r.srv.WaitProject(ctxTimeout(t, 10*time.Second), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +242,7 @@ func TestWorkerPartialCheckpointsReachServer(t *testing.T) {
 	ctrl := &recController{submit: []wire.CommandSpec{mkCmd("c1", "sim")}, finishOn: 1}
 	r := newRig(t, ctrl, []engines.Engine{eng}, Config{})
 	r.submitProject(t)
-	if _, err := r.srv.WaitProject("p", 10*time.Second); err != nil {
+	if _, err := r.srv.WaitProject(ctxTimeout(t, 10*time.Second), "p"); err != nil {
 		t.Fatal(err)
 	}
 	// The final result must still be OK (partials don't complete commands).
@@ -271,10 +284,10 @@ func TestWorkerSharedFSSpool(t *testing.T) {
 	defer func() { srv.Close(); wNode.Close(); sNode.Close() }()
 
 	payload, _ := wire.Marshal(&wire.ProjectSubmit{Name: "p", Controller: "rec"})
-	if _, err := wNode.Request(sNode.ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
+	if _, err := wNode.RequestTimeout(sNode.ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.WaitProject("p", 10*time.Second); err != nil {
+	if _, err := srv.WaitProject(ctxTimeout(t, 10*time.Second), "p"); err != nil {
 		t.Fatal(err)
 	}
 	res, _ := ctrl.snapshot()
@@ -402,7 +415,7 @@ func TestWorkerAbortsTerminatedCommand(t *testing.T) {
 	defer func() { cancel(); srv.Close(); wNode.Close(); sNode.Close() }()
 
 	payload, _ := wire.Marshal(&wire.ProjectSubmit{Name: "p", Controller: "rec"})
-	if _, err := wNode.Request(sNode.ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
+	if _, err := wNode.RequestTimeout(sNode.ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// The blocking engine must get cancelled via the heartbeat abort once
@@ -414,5 +427,113 @@ func TestWorkerAbortsTerminatedCommand(t *testing.T) {
 		if r.CommandID != "probe" {
 			t.Errorf("terminated command produced a result: %s", r.CommandID)
 		}
+	}
+}
+
+// metricValue sums every sample of the named metric in o's text exposition.
+func metricValue(t *testing.T, o *obs.Obs, name string) float64 {
+	t.Helper()
+	var buf strings.Builder
+	o.Metrics.WriteText(&buf)
+	total := 0.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestResultSpoolAndRedeliver walks the degradation ladder end to end: the
+// worker finishes a command while partitioned from every server, spools the
+// undeliverable result to disk, and redelivers it after the partition heals
+// — no finished work lost.
+func TestResultSpoolAndRedeliver(t *testing.T) {
+	onet := overlay.NewMemNetwork()
+	sNode := overlay.NewNode(overlay.NewIdentityFromSeed(1), overlay.NewTrustStore(), onet.Transport())
+	if err := sNode.Listen("srv"); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := &recController{submit: []wire.CommandSpec{mkCmd("c1", "sim")}, finishOn: 1}
+	reg := controller.NewRegistry()
+	reg.Register("rec", func() controller.Controller { return ctrl })
+	srv := server.New(sNode, reg, server.Config{HeartbeatInterval: time.Hour})
+
+	o := obs.New()
+	ct := chaos.New(onet.Transport(), chaos.Config{Seed: 7}, o)
+	wNode := overlay.NewNode(overlay.NewIdentityFromSeed(2), overlay.NewTrustStore(), ct)
+	if _, err := wNode.ConnectPeer("srv"); err != nil {
+		t.Fatal(err)
+	}
+	spool := t.TempDir()
+	wk, err := New(wNode, sNode.ID(), []engines.Engine{&fakeEngine{name: "sim"}}, Config{
+		Cores:          1,
+		ResultSpoolDir: spool,
+		Obs:            o,
+		Retry:          retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, PerAttempt: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		ct.Stop()
+		wNode.Close()
+		sNode.Close()
+	})
+	ctx := context.Background()
+
+	payload, err := wire.Marshal(&wire.ProjectSubmit{Name: "p", Controller: "rec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wNode.RequestTimeout(sNode.ID(), wire.MsgSubmit, payload, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := wk.announce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Commands) != 1 {
+		t.Fatalf("workload = %v", wl.Commands)
+	}
+
+	// Sever the worker↔server link and wait until the overlay notices.
+	ct.Partition("srv")
+	waitCond(t, 2*time.Second, func() bool { return len(wNode.Peers()) == 0 })
+
+	res := wire.CommandResult{CommandID: "c1", Project: "p", WorkerID: wk.ID(), OK: true, Output: []byte("out")}
+	wk.sendResult(ctx, sNode.ID(), &res)
+	files, err := filepath.Glob(filepath.Join(spool, "*.result"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spooled files = %v (err %v), want exactly 1", files, err)
+	}
+	if got := metricValue(t, o, "copernicus_worker_results_spooled_total"); got != 1 {
+		t.Errorf("copernicus_worker_results_spooled_total = %g, want 1", got)
+	}
+	if results, _ := ctrl.snapshot(); len(results) != 0 {
+		t.Fatalf("server saw %d results while partitioned", len(results))
+	}
+
+	// Heal, reconnect (the Run loop does this via rehome) and drain.
+	ct.Heal("srv")
+	if _, err := wNode.ConnectPeer("srv"); err != nil {
+		t.Fatal(err)
+	}
+	wk.drainSpool(ctx)
+	if files, _ := filepath.Glob(filepath.Join(spool, "*.result")); len(files) != 0 {
+		t.Errorf("spool not emptied after redelivery: %v", files)
+	}
+	if got := metricValue(t, o, "copernicus_worker_results_redelivered_total"); got != 1 {
+		t.Errorf("copernicus_worker_results_redelivered_total = %g, want 1", got)
+	}
+	results, _ := ctrl.snapshot()
+	if len(results) != 1 || !results[0].OK || results[0].CommandID != "c1" {
+		t.Fatalf("server results after redelivery = %+v", results)
 	}
 }

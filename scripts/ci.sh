@@ -19,8 +19,12 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
-echo "== go test -race (obs, server, worker, queue, overlay) =="
+echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos) =="
 go test -race ./internal/obs/... ./internal/server/... \
-    ./internal/worker/... ./internal/queue/... ./internal/overlay/...
+    ./internal/worker/... ./internal/queue/... ./internal/overlay/... \
+    ./internal/retry/... ./internal/chaos/...
+
+echo "== chaos soak (race) =="
+go test -race -run TestChaosSoak -timeout 300s ./internal/core/
 
 echo "ci: all checks passed"

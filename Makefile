@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race chaos ci bench fmt
+.PHONY: all build vet test race chaos crash ci bench fmt
 
 all: build
 
@@ -17,13 +17,20 @@ test:
 # Race-enabled tests for the concurrency-heavy packages.
 race:
 	$(GO) test -race ./internal/obs/... ./internal/server/... \
-		./internal/worker/... ./internal/queue/... ./internal/overlay/...
+		./internal/worker/... ./internal/queue/... ./internal/overlay/... \
+		./internal/store/...
 
 # Chaos soak: the MSM pipeline completing under seeded fault injection
 # (25% dropped writes, partial frames, a forced full partition) — see
 # docs/ROBUSTNESS.md.
 chaos:
 	$(GO) test -race -run TestChaosSoak -v -timeout 300s ./internal/core/
+
+# Kill-and-restart: the project server hard-killed mid-ensemble and
+# rebuilt from its -state-dir, with and without WAL write faults — see
+# docs/PERSISTENCE.md.
+crash:
+	$(GO) test -race -run TestFabricCrashRestart -v -timeout 600s ./internal/core/
 
 ci:
 	sh scripts/ci.sh

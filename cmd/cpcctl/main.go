@@ -6,15 +6,21 @@
 //
 //	cpcctl -server host:7770 submit -name myrun -controller msm [flags]
 //	cpcctl -server host:7770 status -name myrun [-watch]
+//	cpcctl state inspect <state-dir>
 //
 // Controller flags (submit):
 //
 //	msm: -generations -clusters -starts -tasks -segment-ns -weighting
 //	bar: -windows -samples -target-stderr -deltaf
+//
+// `state inspect` is offline: it reads a server's -state-dir directly
+// (snapshot + WAL tail as JSON, CRCs verified) without contacting any
+// server, for operator debugging of durable state.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +31,7 @@ import (
 	"copernicus/internal/controller"
 	"copernicus/internal/msm"
 	"copernicus/internal/overlay"
+	"copernicus/internal/store"
 	"copernicus/internal/wire"
 )
 
@@ -32,8 +39,15 @@ func main() {
 	serverAddr := flag.String("server", "127.0.0.1:7770", "server address")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: cpcctl -server ADDR {submit|status} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: cpcctl -server ADDR {submit|status} [flags] | cpcctl state inspect DIR")
 		os.Exit(2)
+	}
+
+	// The state subcommand works on local files; dispatch it before dialing
+	// any server.
+	if flag.Arg(0) == "state" {
+		stateCmd(flag.Args()[1:])
+		return
 	}
 
 	id, err := overlay.NewIdentity()
@@ -61,6 +75,26 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "cpcctl: unknown subcommand %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+}
+
+// stateCmd handles the offline `state inspect <dir>` subcommand.
+func stateCmd(args []string) {
+	if len(args) < 2 || args[0] != "inspect" {
+		fmt.Fprintln(os.Stderr, "usage: cpcctl state inspect DIR")
+		os.Exit(2)
+	}
+	insp, err := store.Inspect(args[1])
+	if err != nil {
+		log.Fatalf("cpcctl state inspect: %v", err)
+	}
+	out, err := json.MarshalIndent(insp, "", "  ")
+	if err != nil {
+		log.Fatalf("cpcctl state inspect: %v", err)
+	}
+	fmt.Println(string(out))
+	if !insp.Healthy {
+		os.Exit(1)
 	}
 }
 

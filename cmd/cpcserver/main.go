@@ -30,6 +30,7 @@ import (
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/server"
+	"copernicus/internal/store"
 )
 
 func main() {
@@ -44,6 +45,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "standalone /metrics+/debug address (e.g. :9090); empty disables (the -monitor handler always includes them)")
 	logLevel := flag.String("log-level", "", "log level: debug, info, warn, error, off (empty = off; -v = debug)")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token (enables by-path result exchange)")
+	stateDir := flag.String("state-dir", "", "durable state directory (WAL + snapshots); empty keeps all project state in memory")
+	fsyncInterval := flag.Duration("fsync-interval", 2*time.Millisecond, "group-commit window: how long the WAL syncer waits for more appends before one shared fsync (0 = fsync each batch immediately)")
+	snapshotEvery := flag.Int("snapshot-every", 512, "WAL records between snapshots (snapshots truncate the log; 0 disables automatic snapshots)")
 	verbose := flag.Bool("v", false, "verbose logging (shorthand for -log-level debug)")
 	flag.Parse()
 
@@ -81,11 +85,29 @@ func main() {
 	if err := node.Listen(*listen); err != nil {
 		log.Fatalf("listen %s: %v", *listen, err)
 	}
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(store.Options{
+			Dir:           *stateDir,
+			FsyncInterval: *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+			Obs:           o,
+		})
+		if err != nil {
+			log.Fatalf("opening state dir %s: %v", *stateDir, err)
+		}
+		defer st.Close()
+		rec := st.Recovered()
+		if rec.Snapshot != nil || len(rec.Records) > 0 {
+			fmt.Printf("cpcserver: recovering state from %s (%d WAL records)\n", *stateDir, len(rec.Records))
+		}
+	}
 	srv := server.New(node, controller.DefaultRegistry(), server.Config{
 		HeartbeatInterval: *heartbeat,
 		RelayTimeout:      *relayTimeout,
 		RelayCooldown:     *relayCooldown,
 		FSToken:           *fsToken,
+		Store:             st,
 		Obs:               o,
 	})
 	defer srv.Close()

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"copernicus/internal/obs"
+	"copernicus/internal/rng"
+)
+
+// WALFaults builds a write hook for store.Options.WriteHook — the
+// durable-state counterpart of the transport faults in this package. With
+// probability failProb a WAL append errors outright (a failing disk, which
+// the server logs and survives); with probability shortProb the frame is
+// truncated to a random prefix, the on-disk image a power cut leaves behind
+// mid-write. Recovery must treat either as at worst bounded re-execution.
+//
+// The first skipFirst appends are never faulted. Tearing a project-submit
+// record does not model silent state loss — the submission was never acked,
+// so the client re-submits — and protecting it keeps "an acked project is
+// never lost" assertable by the crash tests without re-implementing client
+// retry.
+//
+// Decisions draw from one rng.Source seeded with seed, so a given seed
+// replays the same fault sequence for the same sequence of appends. Faults
+// count into copernicus_chaos_faults_total{kind="wal_error"|"wal_short"}.
+func WALFaults(seed uint64, skipFirst int, shortProb, failProb float64, o *obs.Obs) func([]byte) ([]byte, error) {
+	if o == nil {
+		o = obs.New()
+	}
+	reg := o.Metrics
+	count := func(kind string) {
+		reg.Counter("copernicus_chaos_faults_total",
+			"Faults injected by the chaos harness, by kind.",
+			obs.L("kind", kind)).Inc()
+	}
+	var mu sync.Mutex
+	src := rng.New(seed)
+	appends := 0
+	return func(frame []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		appends++
+		if appends <= skipFirst {
+			return frame, nil
+		}
+		if failProb > 0 && src.Float64() < failProb {
+			count("wal_error")
+			return nil, fmt.Errorf("chaos: injected WAL write error (append %d)", appends)
+		}
+		if shortProb > 0 && len(frame) > 1 && src.Float64() < shortProb {
+			count("wal_short")
+			cut := 1 + int(src.Float64()*float64(len(frame)-1))
+			return frame[:cut], nil
+		}
+		return frame, nil
+	}
+}

@@ -1,0 +1,128 @@
+package controller
+
+import (
+	"testing"
+
+	"copernicus/internal/wire"
+)
+
+// pumpN executes exactly n queued commands (no finish short-circuit guard
+// beyond the pump's own), used to stop a project mid-flight.
+func (c *fakeCtx) pumpN(ctrl Controller, n int) error {
+	for i := 0; i < n && len(c.queue) > 0 && !c.finished; i++ {
+		if err := c.pump(ctrl, 1); err != nil && err.Error() != "pump budget exhausted" {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestMSMSaveRestoreMidRunMatchesUninterrupted proves the Durable contract:
+// serializing the controller mid-project and resuming on a fresh instance
+// produces byte-identical science to a run that was never interrupted.
+func TestMSMSaveRestoreMidRunMatchesUninterrupted(t *testing.T) {
+	run := func(interruptAfter int) *MSMResult {
+		ctx := newFakeCtx(t)
+		var ctrl Controller = NewMSMController()
+		p := tinyMSMParams()
+		if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+			t.Fatal(err)
+		}
+		if interruptAfter > 0 {
+			if err := ctx.pumpN(ctrl, interruptAfter); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := ctrl.(Durable).SaveState()
+			if err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			fresh := NewMSMController()
+			if err := fresh.RestoreState(blob); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			ctrl = fresh
+		}
+		if err := ctx.pump(ctrl, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if !ctx.finished {
+			t.Fatal("project did not finish")
+		}
+		var res MSMResult
+		if err := wire.Unmarshal(ctx.result, &res); err != nil {
+			t.Fatal(err)
+		}
+		return &res
+	}
+
+	base := run(0)
+	for _, cut := range []int{1, 5, 11} {
+		got := run(cut)
+		if len(got.Generations) != len(base.Generations) {
+			t.Fatalf("cut=%d: %d generations, want %d", cut, len(got.Generations), len(base.Generations))
+		}
+		for i := range base.Generations {
+			if got.Generations[i] != base.Generations[i] {
+				t.Errorf("cut=%d: generation %d diverged:\n%+v\n%+v",
+					cut, i, got.Generations[i], base.Generations[i])
+			}
+		}
+		if got.THalfNs != base.THalfNs || got.FinalTopStateRMSD != base.FinalTopStateRMSD {
+			t.Errorf("cut=%d: final analysis diverged", cut)
+		}
+	}
+}
+
+func TestBARSaveRestoreMidRunMatchesUninterrupted(t *testing.T) {
+	run := func(interrupt bool) *BARResult {
+		ctx := newFakeCtx(t)
+		var ctrl Controller = NewBARController()
+		p := tinyBARParams()
+		p.SamplesPerCommand = 50
+		p.TargetStdErr = 0.05
+		p.MaxRounds = 20
+		if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+			t.Fatal(err)
+		}
+		if interrupt {
+			if err := ctx.pumpN(ctrl, 1); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := ctrl.(Durable).SaveState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := NewBARController()
+			if err := fresh.RestoreState(blob); err != nil {
+				t.Fatal(err)
+			}
+			ctrl = fresh
+		}
+		if err := ctx.pump(ctrl, 500); err != nil {
+			t.Fatal(err)
+		}
+		if !ctx.finished {
+			t.Fatal("project did not finish")
+		}
+		var res BARResult
+		if err := wire.Unmarshal(ctx.result, &res); err != nil {
+			t.Fatal(err)
+		}
+		return &res
+	}
+	a, b := run(false), run(true)
+	if a.Total.DeltaF != b.Total.DeltaF || a.Rounds != b.Rounds || a.SamplesUsed != b.SamplesUsed {
+		t.Errorf("restored run diverged: %+v vs %+v", a.Total, b.Total)
+	}
+}
+
+// TestDurableRejectsGarbage ensures RestoreState fails loudly instead of
+// resuming with zeroed state.
+func TestDurableRejectsGarbage(t *testing.T) {
+	if err := NewMSMController().RestoreState([]byte("nonsense")); err == nil {
+		t.Error("msm accepted garbage state")
+	}
+	if err := NewBARController().RestoreState([]byte("nonsense")); err == nil {
+		t.Error("bar accepted garbage state")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"copernicus/internal/overlay"
 	"copernicus/internal/retry"
 	"copernicus/internal/server"
+	"copernicus/internal/store"
 	"copernicus/internal/wire"
 	"copernicus/internal/worker"
 )
@@ -65,6 +66,19 @@ type FabricConfig struct {
 	// ResultSpoolDir, when set, gives each worker a private subdirectory to
 	// spool undeliverable results for post-partition redelivery.
 	ResultSpoolDir string
+	// StateDir, when set, gives every server a durable state directory
+	// (StateDir/server-N holding its WAL and snapshots) and arms
+	// CrashServer/RestartServer: a restarted server replays its journal and
+	// resumes its projects. Empty keeps all project state in memory.
+	StateDir string
+	// FsyncInterval and SnapshotEvery tune each server's store; see
+	// store.Options. StoreNoSync skips fsyncs (unit tests on throwaway
+	// dirs); StoreWriteHook intercepts WAL frames before they hit disk —
+	// chaos.WALFaults plugs in here.
+	FsyncInterval  time.Duration
+	SnapshotEvery  int
+	StoreNoSync    bool
+	StoreWriteHook func(frame []byte) ([]byte, error)
 	// Obs is the observability bundle shared by every component in the
 	// fabric — one metrics registry, one span tracer, one logger — so a
 	// command's whole lifecycle (submit → queue → dispatch → run → result →
@@ -105,6 +119,11 @@ type Fabric struct {
 	Net     *overlay.MemNetwork
 	Servers []*server.Server
 	Workers []*worker.Worker
+	// Stores holds each server's durable store, index-aligned with Servers;
+	// entries are nil when FabricConfig.StateDir is unset. The fabric owns
+	// them: they are (re)opened by NewFabric/RestartServer and closed by
+	// CrashServer/Close.
+	Stores []*store.Store
 	// Chaos holds each worker's fault-injection transport (index-aligned
 	// with Workers) when FabricConfig.Chaos is enabled; empty otherwise.
 	// Tests drive partitions through these.
@@ -114,11 +133,30 @@ type Fabric struct {
 	// /debug/trace for the whole fabric.
 	Obs *obs.Obs
 
-	nodes      []*overlay.Node
-	clientNode *overlay.Node
-	cl         *client.Client
-	cancel     context.CancelFunc
-	wg         sync.WaitGroup
+	cfg         FabricConfig
+	tr          overlay.Transport
+	serverSeeds []uint64 // identity seeds, so restarts keep node IDs
+	nodes       []*overlay.Node
+	clientNode  *overlay.Node
+	cl          *client.Client
+	cancel      context.CancelFunc
+	wg          sync.WaitGroup
+}
+
+// openStore opens (or re-opens) server i's durable store; nil when the
+// fabric runs without a state directory.
+func (f *Fabric) openStore(i int) (*store.Store, error) {
+	if f.cfg.StateDir == "" {
+		return nil, nil
+	}
+	return store.Open(store.Options{
+		Dir:           filepath.Join(f.cfg.StateDir, fmt.Sprintf("server-%d", i)),
+		FsyncInterval: f.cfg.FsyncInterval,
+		SnapshotEvery: f.cfg.SnapshotEvery,
+		NoSync:        f.cfg.StoreNoSync,
+		WriteHook:     f.cfg.StoreWriteHook,
+		Obs:           f.cfg.Obs,
+	})
 }
 
 // NewFabric builds and starts the deployment: a chain of servers
@@ -126,9 +164,10 @@ type Fabric struct {
 // node connected to the project server.
 func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	cfg.fill()
-	f := &Fabric{Net: overlay.NewMemNetwork(), Obs: cfg.Obs}
+	f := &Fabric{Net: overlay.NewMemNetwork(), Obs: cfg.Obs, cfg: cfg}
 	f.Net.Latency = cfg.Latency
 	tr := f.Net.Transport()
+	f.tr = tr
 	ctx, cancel := context.WithCancel(context.Background())
 	f.cancel = cancel
 
@@ -141,10 +180,12 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		return n
 	}
 
-	// Server chain.
+	// Server chain. Server i's node is f.nodes[i] (servers are created
+	// first), which CrashServer relies on.
 	serverAddrs := make([]string, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		node := newNode(tr)
+		f.serverSeeds = append(f.serverSeeds, seed)
 		addr := fmt.Sprintf("server-%d", i)
 		serverAddrs[i] = addr
 		if err := node.Listen(addr); err != nil {
@@ -157,10 +198,17 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 				return nil, err
 			}
 		}
+		st, err := f.openStore(i)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Stores = append(f.Stores, st)
 		srv := server.New(node, cfg.Registry, server.Config{
 			HeartbeatInterval: cfg.Heartbeat,
 			RelayTimeout:      2 * time.Second,
 			FSToken:           cfg.FSToken,
+			Store:             st,
 			Obs:               cfg.Obs,
 		})
 		f.Servers = append(f.Servers, srv)
@@ -266,6 +314,71 @@ func (f *Fabric) Wait(ctx context.Context, name string) (wire.ProjectStatus, err
 	return f.cl.Wait(ctx, name)
 }
 
+// CrashServer simulates a hard failure of server i: its overlay node is
+// torn out (links to workers, peers and the client all die mid-flight) and
+// its store is closed without writing a snapshot — leaving exactly the disk
+// image a kill -9 leaves behind: the snapshots and fsynced WAL tail, and
+// nothing that lived only in memory. RestartServer rebuilds the server from
+// that image. Requires FabricConfig.StateDir (otherwise the crashed
+// server's projects are simply gone, which is the pre-store behaviour).
+func (f *Fabric) CrashServer(i int) {
+	f.Servers[i].Close()
+	f.nodes[i].Close()
+	if f.Stores[i] != nil {
+		f.Stores[i].Close()
+		f.Stores[i] = nil
+	}
+}
+
+// RestartServer rebuilds a crashed server from its state directory: the
+// same identity seed (so its node ID — which workers announce to, spool
+// results for, and the client addresses — is unchanged), the same listen
+// address, a fresh store whose recovery the new server replays, and
+// re-dials to its chain neighbours. For the project server (i == 0) the
+// fabric's client link is re-dialled too.
+func (f *Fabric) RestartServer(i int) error {
+	st, err := f.openStore(i)
+	if err != nil {
+		return err
+	}
+	node := overlay.NewNode(overlay.NewIdentityFromSeed(f.serverSeeds[i]), overlay.NewTrustStore(), f.tr)
+	node.Obs = f.cfg.Obs
+	if err := node.Listen(fmt.Sprintf("server-%d", i)); err != nil {
+		if st != nil {
+			st.Close()
+		}
+		node.Close()
+		return fmt.Errorf("core: restarting server %d: %w", i, err)
+	}
+	// Heal the chain in both directions: at bootstrap only server i dialled
+	// i-1, but after a crash the neighbours' links are dead too and nobody
+	// else redials.
+	for _, j := range []int{i - 1, i + 1} {
+		if j < 0 || j >= len(f.Servers) {
+			continue
+		}
+		if _, err := node.ConnectPeer(fmt.Sprintf("server-%d", j)); err != nil {
+			f.cfg.Obs.Log.Named("core").Warn("restart could not reach chain neighbour",
+				"server", i, "peer", j, "err", err)
+		}
+	}
+	f.nodes[i] = node
+	f.Stores[i] = st
+	f.Servers[i] = server.New(node, f.cfg.Registry, server.Config{
+		HeartbeatInterval: f.cfg.Heartbeat,
+		RelayTimeout:      2 * time.Second,
+		FSToken:           f.cfg.FSToken,
+		Store:             st,
+		Obs:               f.cfg.Obs,
+	})
+	if i == 0 && f.clientNode != nil {
+		if _, err := f.clientNode.ConnectPeer("server-0"); err != nil {
+			return fmt.Errorf("core: reconnecting client after restart: %w", err)
+		}
+	}
+	return nil
+}
+
 // Close tears the deployment down.
 func (f *Fabric) Close() {
 	if f.cancel != nil {
@@ -280,6 +393,12 @@ func (f *Fabric) Close() {
 	}
 	for _, n := range f.nodes {
 		n.Close()
+	}
+	// Stores close after the servers that journal to them.
+	for _, st := range f.Stores {
+		if st != nil {
+			st.Close()
+		}
 	}
 }
 

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"copernicus/internal/store"
+	"copernicus/internal/wire"
+)
+
+// testCtlState makes testController serializable so the snapshot path
+// (which requires controller.Durable) can be exercised with the scriptable
+// controller instead of a full MSM run.
+type testCtlState struct {
+	Finished []wire.CommandResult
+	Failed   []string
+}
+
+func (c *testController) SaveState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := testCtlState{Failed: append([]string(nil), c.failed...)}
+	for _, r := range c.finished {
+		st.Finished = append(st.Finished, *r)
+	}
+	return wire.Marshal(&st)
+}
+
+func (c *testController) RestoreState(data []byte) error {
+	var st testCtlState
+	if err := wire.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finished = nil
+	for i := range st.Finished {
+		c.finished = append(c.finished, &st.Finished[i])
+	}
+	c.failed = st.Failed
+	return nil
+}
+
+// openTestStore opens a store on dir with fsync disabled (throwaway dirs).
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// threeCmdCtl returns the deterministic controller script shared by the
+// recovery tests: recovery replays Start on a fresh instance, so the
+// restarted rig must be given the same script.
+func threeCmdCtl() *testController {
+	return &testController{
+		submit:   []wire.CommandSpec{cmdSpec("c1"), cmdSpec("c2"), cmdSpec("c3")},
+		finishOn: 3,
+	}
+}
+
+func sendResult(t *testing.T, r *rig, cmd, worker string) {
+	t.Helper()
+	res := wire.CommandResult{CommandID: cmd, Project: "proj", WorkerID: worker,
+		OK: true, Output: []byte("out-" + cmd)}
+	if err := r.request(t, wire.MsgResult, &res, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryEmptyStateDir: a store on a brand-new directory must behave
+// exactly like no store at all — nothing to replay, submissions work.
+func TestRecoveryEmptyStateDir(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	rec := st.Recovered()
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("empty dir recovered %+v", rec)
+	}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, threeCmdCtl())
+	r.submit(t, "proj")
+	if pst, ok := r.srv.Project("proj"); !ok || pst.State != "running" {
+		t.Fatalf("project after submit: %+v ok=%v", pst, ok)
+	}
+}
+
+// TestRecoveryReplayAndOrphanRequeue is the core crash-restart contract at
+// the server level: a project with one settled, one assigned-but-unresolved
+// and one queued command is rebuilt from the WAL alone; the settled result
+// is not re-run, the orphan is requeued, and a late duplicate of the settled
+// result is absorbed without driving the controller twice.
+func TestRecoveryReplayAndOrphanRequeue(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, threeCmdCtl())
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 2), &wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Commands) != 2 {
+		t.Fatalf("w1 got %d commands, want 2", len(wl.Commands))
+	}
+	done := wl.Commands[0].ID // settle one of the two assigned commands
+	sendResult(t, r1, done, "w1")
+
+	// Hard stop: no snapshot, no graceful drain.
+	r1.srv.Close()
+	st.Close()
+
+	st2 := openTestStore(t, dir)
+	ctrl2 := threeCmdCtl()
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+	pst, ok := r2.srv.Project("proj")
+	if !ok || pst.State != "running" {
+		t.Fatalf("recovered project: %+v ok=%v", pst, ok)
+	}
+	if fin, _ := ctrl2.counts(); fin != 1 {
+		t.Fatalf("replayed %d completions, want 1", fin)
+	}
+	// The orphaned assignment and the never-assigned command must both be
+	// available again.
+	var wl2 wire.Workload
+	if err := r2.request(t, wire.MsgAnnounce, announce("w2", 3), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 2 {
+		t.Fatalf("recovered queue handed out %d commands, want 2", len(wl2.Commands))
+	}
+	for _, c := range wl2.Commands {
+		if c.ID == done {
+			t.Fatalf("settled command %s was re-queued", done)
+		}
+	}
+	// Duplicate redelivery of the pre-crash result (a worker that spooled it
+	// during the outage) must be acknowledged and ignored.
+	sendResult(t, r2, done, "w1")
+	if fin, _ := ctrl2.counts(); fin != 1 {
+		t.Fatalf("duplicate result drove the controller: %d completions", fin)
+	}
+	// Finish the project through the recovered server.
+	for _, c := range wl2.Commands {
+		sendResult(t, r2, c.ID, "w2")
+	}
+	fst, err := r2.srv.WaitProject(ctxTimeout(t, 2*time.Second), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.State != "finished" {
+		t.Fatalf("state = %q (%s)", fst.State, fst.Note)
+	}
+}
+
+// TestRecoveryTornFinalRecord: a crash mid-append leaves a torn final
+// frame. The write was never acknowledged, so recovery must discard it and
+// rebuild everything before it — here the torn record is the only result,
+// so the command runs again (bounded re-execution, nothing lost).
+func TestRecoveryTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, threeCmdCtl())
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 2), &wl); err != nil {
+		t.Fatal(err)
+	}
+	sendResult(t, r1, wl.Commands[0].ID, "w1")
+	r1.srv.Close()
+	st.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	if st2.Recovered().Torn == "" {
+		t.Fatal("torn tail not detected")
+	}
+	ctrl2 := threeCmdCtl()
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+	if pst, ok := r2.srv.Project("proj"); !ok || pst.State != "running" {
+		t.Fatalf("recovered project: %+v ok=%v", pst, ok)
+	}
+	// The result record was torn away, so no completion replays and all
+	// three commands are runnable again.
+	if fin, _ := ctrl2.counts(); fin != 0 {
+		t.Fatalf("torn result still replayed: %d completions", fin)
+	}
+	var wl2 wire.Workload
+	if err := r2.request(t, wire.MsgAnnounce, announce("w2", 3), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 3 {
+		t.Fatalf("recovered queue handed out %d commands, want 3", len(wl2.Commands))
+	}
+	for _, c := range wl2.Commands {
+		sendResult(t, r2, c.ID, "w2")
+	}
+	if fst, err := r2.srv.WaitProject(ctxTimeout(t, 2*time.Second), "proj"); err != nil || fst.State != "finished" {
+		t.Fatalf("state=%v err=%v", fst.State, err)
+	}
+}
+
+// TestRecoverySnapshotWithoutWAL: compaction can race a crash such that a
+// snapshot exists but every WAL segment is gone. The snapshot alone must be
+// a complete recovery baseline, including serialized controller state.
+func TestRecoverySnapshotWithoutWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, threeCmdCtl())
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	sendResult(t, r1, wl.Commands[0].ID, "w1")
+	if err := r1.srv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	r1.srv.Close()
+	st.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2 := openTestStore(t, dir)
+	rec := st2.Recovered()
+	if rec.Snapshot == nil || len(rec.Records) != 0 {
+		t.Fatalf("recovered %+v, want snapshot only", rec)
+	}
+	ctrl2 := threeCmdCtl()
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+	if fin, _ := ctrl2.counts(); fin != 1 {
+		t.Fatalf("controller state restored %d completions, want 1", fin)
+	}
+	var wl2 wire.Workload
+	if err := r2.request(t, wire.MsgAnnounce, announce("w2", 3), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 2 {
+		t.Fatalf("snapshot-recovered queue handed out %d commands, want 2", len(wl2.Commands))
+	}
+	for _, c := range wl2.Commands {
+		sendResult(t, r2, c.ID, "w2")
+	}
+	if fst, err := r2.srv.WaitProject(ctxTimeout(t, 2*time.Second), "proj"); err != nil || fst.State != "finished" {
+		t.Fatalf("state=%v err=%v", fst.State, err)
+	}
+}
+
+// TestRecoveryFinishedProjectStaysQueryable: terminal projects survive a
+// restart with their result intact and never re-enter the queue.
+func TestRecoveryFinishedProjectStaysQueryable(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}, finishOn: 1}
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, ctrl)
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	sendResult(t, r1, "c1", "w1")
+	if fst, err := r1.srv.WaitProject(ctxTimeout(t, 2*time.Second), "proj"); err != nil || fst.State != "finished" {
+		t.Fatalf("state=%v err=%v", fst.State, err)
+	}
+	r1.srv.Close()
+	st.Close()
+
+	st2 := openTestStore(t, dir)
+	ctrl2 := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}, finishOn: 1}
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+	pst, ok := r2.srv.Project("proj")
+	if !ok || pst.State != "finished" || string(pst.Result) != "done" {
+		t.Fatalf("recovered terminal project: %+v ok=%v", pst, ok)
+	}
+	var wl2 wire.Workload
+	if err := r2.request(t, wire.MsgAnnounce, announce("w2", 4), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 0 {
+		t.Fatalf("finished project's commands re-queued: %v", wl2.Commands)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"copernicus/internal/controller"
@@ -24,6 +25,7 @@ import (
 	"copernicus/internal/overlay"
 	"copernicus/internal/queue"
 	"copernicus/internal/retry"
+	"copernicus/internal/store"
 	"copernicus/internal/wire"
 )
 
@@ -52,6 +54,12 @@ type Config struct {
 	// FSToken identifies the server's filesystem for the shared-FS
 	// optimisation; empty disables it.
 	FSToken string
+	// Store, when set, makes project state durable: every lifecycle
+	// transition is journaled to its write-ahead log before being
+	// acknowledged, and New replays whatever the store recovered (snapshot +
+	// WAL tail) before serving traffic, so projects resume across restarts.
+	// The server does not own the store; the caller closes it after Close.
+	Store *store.Store
 	// Obs receives metrics, command-lifecycle spans and structured logs;
 	// nil selects a silent obs.New(). Share one bundle across components
 	// (as Fabric does) to see full lifecycles in one trace.
@@ -143,6 +151,13 @@ type Server struct {
 	workers         map[string]*workerState
 	relayEmptyUntil time.Time
 
+	// replaying is true while New replays recovered state: journaling,
+	// queue pushes and lifecycle metrics are suppressed so a replayed event
+	// is applied exactly once and never re-journaled.
+	replaying atomic.Bool
+	// snapshotting serialises background snapshot captures.
+	snapshotting atomic.Bool
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -233,6 +248,12 @@ func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 			defer s.mu.Unlock()
 			return float64(len(s.projects))
 		})
+	// Replay recovered durable state before any handler can observe or
+	// mutate it: projects resume, the queue is re-seeded, and commands that
+	// were assigned but never resolved are requeued as orphans.
+	if cfg.Store != nil {
+		s.recoverFromStore()
+	}
 	node.Handle(wire.MsgSubmit, s.handleSubmit)
 	node.Handle(wire.MsgAnnounce, s.handleAnnounce)
 	node.Handle(wire.MsgResult, s.handleResult)
@@ -289,6 +310,11 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: project %q already exists", sub.Name)
 	}
+	// Journal inside s.mu: a concurrent snapshot capture scans s.projects
+	// under the same lock, so the record can never land in a compacted
+	// segment while the project is missing from the snapshot.
+	s.journal(store.Record{Type: store.RecProjectSubmitted,
+		Project: sub.Name, Note: sub.Controller, Data: sub.Params})
 	s.projects[sub.Name] = p
 	s.mu.Unlock()
 
@@ -414,6 +440,16 @@ func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
 	if _, dup := c.p.commands[cmd.ID]; dup {
 		return fmt.Errorf("server: duplicate command %q in project %q", cmd.ID, c.p.name)
 	}
+	if c.s.replaying.Load() {
+		// Replayed handlers re-create command state, but the queue is
+		// re-seeded (and orphans requeued) once at the end of recovery.
+		c.p.commands[cmd.ID] = &cmdState{spec: cmd, status: cmdQueued, submittedAt: time.Now()}
+		return nil
+	}
+	if data, err := wire.Marshal(&cmd); err == nil {
+		c.s.journal(store.Record{Type: store.RecCommandQueued,
+			Project: c.p.name, Command: cmd.ID, Data: data})
+	}
 	if err := c.s.q.Push(cmd); err != nil {
 		return err
 	}
@@ -444,12 +480,16 @@ func (c *ctxImpl) Terminate(id string) bool {
 func (c *ctxImpl) SetStatus(generation int, note string) {
 	c.p.generation = generation
 	c.p.note = note
+	c.s.journal(store.Record{Type: store.RecGeneration,
+		Project: c.p.name, Generation: generation, Note: note})
 }
 
 func (c *ctxImpl) Finish(result []byte) {
 	if c.p.state != "running" {
 		return
 	}
+	c.s.journal(store.Record{Type: store.RecProjectFinished,
+		Project: c.p.name, Data: result})
 	c.p.state = "finished"
 	c.p.result = result
 	close(c.p.done)
@@ -459,6 +499,8 @@ func (c *ctxImpl) Fail(err error) {
 	if c.p.state != "running" {
 		return
 	}
+	c.s.journal(store.Record{Type: store.RecProjectFailed,
+		Project: c.p.name, Note: err.Error()})
 	c.p.state = "failed"
 	c.p.failErr = err.Error()
 	close(c.p.done)
@@ -546,6 +588,11 @@ func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from strin
 	now := time.Now()
 	for _, cmd := range wl.Commands {
 		s.withProjectCommand(cmd.Project, cmd.ID, func(p *project, cs *cmdState) {
+			// Journal before the workload reply is sent: recovery must know
+			// the command may be running somewhere so it can requeue it as
+			// an orphan if the result never arrives.
+			s.journal(store.Record{Type: store.RecCommandAssigned,
+				Project: cmd.Project, Command: cmd.ID, Worker: info.ID})
 			cs.status = cmdRunning
 			cs.worker = info.ID
 			cs.dispatchedAt = now
@@ -676,6 +723,7 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 	}
 
 	reply, settledWorker, err := s.ingestResult(p, &res)
+	s.maybeSnapshot()
 	if settledWorker != "" {
 		// The command is settled: drop it from the worker's assignment record
 		// so its next idle announce is not mistaken for an orphaned workload.
@@ -701,13 +749,17 @@ func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte
 	}
 	if res.Partial {
 		// Intermediate checkpoint for failover; §2.3's transparent hand-off.
+		s.journal(store.Record{Type: store.RecCheckpoint,
+			Project: res.Project, Command: res.CommandID, Data: res.Checkpoint})
 		cs.checkpoint = res.Checkpoint
 		return []byte("checkpointed"), "", nil
 	}
 	if cs.status == cmdTerminated || cs.status == cmdDone {
 		// Idempotent redelivery: a retried or spool-redelivered upload of a
 		// result we already counted. Acknowledge success so the sender stops.
-		s.met.duplicates.Inc()
+		if !s.replaying.Load() {
+			s.met.duplicates.Inc()
+		}
 		return []byte("ignored"), cs.worker, nil
 	}
 	if !res.OK {
@@ -719,29 +771,40 @@ func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte
 		// before another worker wastes cycles on it.
 		s.q.Remove(res.CommandID)
 	}
+	// Journal the full result (output included, so replay is independent of
+	// shared-FS spool files) before the controller reacts or the worker is
+	// acked.
+	if data, err := wire.Marshal(res); err == nil {
+		s.journal(store.Record{Type: store.RecResult,
+			Project: res.Project, Command: res.CommandID, Worker: res.WorkerID, Data: data})
+	}
 	cs.status = cmdDone
 	p.finished++
-	s.met.finished.Inc()
-	s.met.resultBytes.Observe(float64(len(res.Output)))
-	s.cfg.Obs.Metrics.Counter("copernicus_worker_commands_total",
-		"Commands finished, by reporting worker.", obs.L("worker", res.WorkerID)).Inc()
-	s.cfg.Obs.Trace.Record(obs.Span{
-		Stage:   obs.StageResult,
-		Command: res.CommandID,
-		Project: res.Project,
-		Worker:  res.WorkerID,
-		Attrs: map[string]string{
-			"bytes":        strconv.Itoa(len(res.Output)),
-			"wall_seconds": strconv.FormatFloat(res.WallSeconds, 'g', 4, 64),
-		},
-	})
+	if !s.replaying.Load() {
+		s.met.finished.Inc()
+		s.met.resultBytes.Observe(float64(len(res.Output)))
+		s.cfg.Obs.Metrics.Counter("copernicus_worker_commands_total",
+			"Commands finished, by reporting worker.", obs.L("worker", res.WorkerID)).Inc()
+		s.cfg.Obs.Trace.Record(obs.Span{
+			Stage:   obs.StageResult,
+			Command: res.CommandID,
+			Project: res.Project,
+			Worker:  res.WorkerID,
+			Attrs: map[string]string{
+				"bytes":        strconv.Itoa(len(res.Output)),
+				"wall_seconds": strconv.FormatFloat(res.WallSeconds, 'g', 4, 64),
+			},
+		})
+	}
 	if p.state != "running" {
 		return []byte("ok"), cs.worker, nil
 	}
 	reactStart := time.Now()
 	rerr := p.ctrl.CommandFinished(s.contextFor(p), res)
 	reaction := time.Since(reactStart)
-	s.met.controllerTime.Observe(reaction.Seconds())
+	if !s.replaying.Load() {
+		s.met.controllerTime.Observe(reaction.Seconds())
+	}
 	span := obs.Span{
 		Stage:    obs.StageController,
 		Command:  res.CommandID,
@@ -925,6 +988,8 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 			spec.Checkpoint = cs.checkpoint // resume where the dead worker left off
 			cs.status = cmdQueued
 			cs.worker = ""
+			s.journal(store.Record{Type: store.RecCommandRequeued,
+				Project: owner.name, Command: cmdID, Worker: wf.WorkerID, Count: cs.retries})
 			if err := s.q.Push(spec); err != nil {
 				s.log.Error("requeueing recovered command failed", "cmd", cmdID, "err", err)
 			} else {
@@ -947,6 +1012,8 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 			}
 		}
 		// Terminal failure.
+		s.journal(store.Record{Type: store.RecCommandFailed,
+			Project: owner.name, Command: cmdID, Worker: wf.WorkerID, Note: "worker lost"})
 		cs.status = cmdFailed
 		owner.failed++
 		s.met.failed.Inc()

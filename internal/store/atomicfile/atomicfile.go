@@ -1,0 +1,73 @@
+// Package atomicfile writes files so that a crash at any instant leaves
+// either the complete new content or the previous state — never a torn
+// file. It is the single implementation of the tmp → fsync → rename → dir
+// fsync dance used by the worker's result spool, the shared-filesystem
+// output path, and every durable-store snapshot.
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFile atomically replaces path with data: the bytes are written to a
+// temporary file in the same directory, fsynced, renamed over path, and the
+// directory entry is fsynced so the rename itself survives a crash. On any
+// error the temporary file is removed and path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicfile: syncing %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("atomicfile: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: renaming into %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so recently created, renamed or removed
+// entries are durable. Filesystems that do not support directory fsync
+// (it fails with EINVAL on some) are treated as best-effort: only real I/O
+// errors are reported.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse fsync on directories; a crash there loses
+		// only rename durability, not atomicity, so don't fail the caller.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return fmt.Errorf("atomicfile: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"fmt"
+
+	"copernicus/internal/wire"
+)
+
+// RecordType enumerates the project-lifecycle events the WAL journals.
+// Values are part of the on-disk format; never renumber, only append.
+type RecordType uint8
+
+const (
+	// RecProjectSubmitted creates a project; Data holds the controller
+	// parameter blob.
+	RecProjectSubmitted RecordType = iota + 1
+	// RecCommandQueued registers a command with its project; Data holds the
+	// wire.CommandSpec.
+	RecCommandQueued
+	// RecCommandAssigned marks a command dispatched to a worker.
+	RecCommandAssigned
+	// RecCheckpoint stores a command's latest partial checkpoint (Data).
+	RecCheckpoint
+	// RecResult applies a final command result; Data holds the
+	// wire.CommandResult.
+	RecResult
+	// RecCommandRequeued returns a lost worker's command to the queue;
+	// Count carries the new retry tally.
+	RecCommandRequeued
+	// RecCommandFailed fails a command terminally; Note carries the reason.
+	RecCommandFailed
+	// RecGeneration advances the adaptive controller's generation counter.
+	RecGeneration
+	// RecProjectFinished completes a project; Data holds the result blob.
+	RecProjectFinished
+	// RecProjectFailed aborts a project; Note carries the error.
+	RecProjectFailed
+)
+
+// String returns the record type's stable wire name (used by state inspect).
+func (t RecordType) String() string {
+	switch t {
+	case RecProjectSubmitted:
+		return "project_submitted"
+	case RecCommandQueued:
+		return "command_queued"
+	case RecCommandAssigned:
+		return "command_assigned"
+	case RecCheckpoint:
+		return "checkpoint"
+	case RecResult:
+		return "result"
+	case RecCommandRequeued:
+		return "command_requeued"
+	case RecCommandFailed:
+		return "command_failed"
+	case RecGeneration:
+		return "generation"
+	case RecProjectFinished:
+		return "project_finished"
+	case RecProjectFailed:
+		return "project_failed"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Record is one journaled lifecycle event. The flat shape (typed fields
+// plus an opaque Data payload) keeps the gob encoding small, lets the
+// inspector render every record without knowing controller internals, and
+// gives recovery a single switch to replay.
+type Record struct {
+	// Seq is the store-assigned monotone sequence number (set by Append).
+	Seq uint64
+	// Time is the append wall-clock time in Unix nanoseconds (set by Append).
+	Time int64
+	// Type selects which of the remaining fields are meaningful.
+	Type RecordType
+	// Project names the project the event belongs to.
+	Project string
+	// Command is the command ID for command-scoped events.
+	Command string
+	// Worker is the worker ID for assignment events.
+	Worker string
+	// Generation is the new generation for RecGeneration records.
+	Generation int
+	// Count carries the retry tally for RecCommandRequeued records.
+	Count int
+	// Note is free text: controller name on submit, status note on
+	// generation advance, failure reason on failure records.
+	Note string
+	// Data is the event payload (params, spec, result, checkpoint bytes).
+	Data []byte
+}
+
+// CommandSnap is one command's durable state inside a snapshot.
+type CommandSnap struct {
+	Spec       wire.CommandSpec
+	Status     int // mirrors the server's cmdStatus enum
+	Worker     string
+	Retries    int
+	Checkpoint []byte
+}
+
+// ProjectSnap is one project's durable state inside a snapshot, including
+// the controller's serialized state (controller.Durable).
+type ProjectSnap struct {
+	Name       string
+	Controller string
+	State      string
+	Generation int
+	Note       string
+	FailErr    string
+	Result     []byte
+	Finished   int
+	Failed     int
+	Seed       uint64
+	CtrlState  []byte
+	Commands   []CommandSnap
+}
+
+// Snapshot is a full durable image of a server's project state, written at
+// WAL rotation so older segments can be deleted.
+type Snapshot struct {
+	// TakenAt is the capture wall-clock time in Unix nanoseconds.
+	TakenAt int64
+	// LastSeq is the highest record sequence number reflected in the image.
+	LastSeq  uint64
+	Projects []ProjectSnap
+}

@@ -21,6 +21,7 @@ import (
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/retry"
+	"copernicus/internal/store/atomicfile"
 	"copernicus/internal/wire"
 )
 
@@ -539,12 +540,14 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 }
 
 // spoolOutput writes output to the shared filesystem and returns its path.
+// The write is atomic: the server may read the path the moment the result
+// message lands, so it must never observe a half-written file.
 func (w *Worker) spoolOutput(cmdID string, output []byte) (string, error) {
 	if err := os.MkdirAll(w.cfg.SpoolDir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(w.cfg.SpoolDir, cmdID+".out")
-	if err := os.WriteFile(path, output, 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, output, 0o644); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -597,9 +600,5 @@ func (w *Worker) spoolResult(cmdID string, payload []byte) error {
 	}
 	name := strings.ReplaceAll(cmdID, string(filepath.Separator), "_")
 	path := filepath.Join(w.cfg.ResultSpoolDir, name+".result")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicfile.WriteFile(path, payload, 0o644)
 }

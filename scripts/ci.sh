@@ -19,12 +19,15 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
-echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos) =="
+echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store) =="
 go test -race ./internal/obs/... ./internal/server/... \
     ./internal/worker/... ./internal/queue/... ./internal/overlay/... \
-    ./internal/retry/... ./internal/chaos/...
+    ./internal/retry/... ./internal/chaos/... ./internal/store/...
 
 echo "== chaos soak (race) =="
 go test -race -run TestChaosSoak -timeout 300s ./internal/core/
+
+echo "== crash-restart recovery (race) =="
+go test -race -run TestFabricCrashRestart -timeout 600s ./internal/core/
 
 echo "ci: all checks passed"

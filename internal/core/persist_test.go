@@ -60,6 +60,19 @@ func crashRestartMSM(t *testing.T, cfg FabricConfig) {
 	}
 	waitForProgress(t, f, "crash-msm", 6)
 
+	// Pull the plug only once the journal provably holds a record past the
+	// last snapshot rotation. A snapshot's LastSeq is fixed at rotation, so
+	// such a record reaches the replay tail even if a background snapshot
+	// capture is racing the crash — keeping the replayed-records assertion
+	// below deterministic (a crash right after a snapshot that covered the
+	// whole journal would legitimately replay nothing).
+	tailDeadline := time.Now().Add(10 * time.Second)
+	for f.Stores[0].AppendedSinceRotation() == 0 {
+		if time.Now().After(tailDeadline) {
+			t.Fatal("journal never accumulated a post-rotation record")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	f.CrashServer(0)
 	// Let in-flight commands finish against a dead server so workers are
 	// forced through the retry → spool path.

@@ -278,8 +278,9 @@ func (s *Server) replayRecord(r store.Record) {
 // matching queue and requeues commands whose assignment was journaled but
 // whose result never arrived (orphans: the worker died with the server, or
 // its result is still in flight — if it lands later, the duplicate-result
-// path settles it and pulls the requeue). Runs after the replay flag is
-// cleared so orphan requeues are journaled like live ones.
+// path settles it and pulls the requeue). Orphan requeues count against
+// cfg.MaxRetries exactly like live worker-loss requeues. Runs after the
+// replay flag is cleared so the requeues are journaled like live ones.
 func (s *Server) reseedQueue() (orphans, queued int) {
 	s.mu.Lock()
 	ps := make([]*project, 0, len(s.projects))
@@ -294,6 +295,9 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 			continue
 		}
 		for id, cs := range p.commands {
+			if p.state != "running" {
+				break // a terminal orphan failure below failed the project
+			}
 			switch cs.status {
 			case cmdQueued:
 				spec := cs.spec
@@ -306,6 +310,27 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 					queued++
 				}
 			case cmdRunning:
+				// Same retry cap as the live recovery path: a command that
+				// straddles restart after restart must not be retried
+				// without bound.
+				if cs.retries >= s.cfg.MaxRetries {
+					s.journal(store.Record{Type: store.RecCommandFailed,
+						Project: p.name, Command: id, Worker: cs.worker,
+						Note: "orphaned by restart; retries exhausted"})
+					cs.status = cmdFailed
+					p.failed++
+					s.met.failed.Inc()
+					s.log.Warn("restart orphan failed terminally",
+						"cmd", id, "project", p.name, "retries", cs.retries)
+					if err := p.ctrl.CommandFailed(s.contextFor(p), cs.spec,
+						"orphaned by restart; retries exhausted"); err != nil && p.state == "running" {
+						p.state = "failed"
+						p.failErr = err.Error()
+						close(p.done)
+					}
+					continue
+				}
+				cs.retries++
 				s.journal(store.Record{Type: store.RecCommandRequeued,
 					Project: p.name, Command: id, Worker: cs.worker,
 					Count: cs.retries, Note: "orphaned by restart"})
@@ -343,27 +368,31 @@ func (s *Server) maybeSnapshot() {
 	if !s.snapshotting.CompareAndSwap(false, true) {
 		return
 	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
+	started := s.goAsync(func() {
 		defer s.snapshotting.Store(false)
 		if err := s.SnapshotNow(); err != nil {
 			s.log.Warn("background snapshot failed", "err", err)
 		}
-	}()
+	})
+	if !started {
+		s.snapshotting.Store(false)
+	}
 }
 
 // SnapshotNow rotates the WAL and writes a snapshot of all project state,
 // letting the store compact everything older. The ordering is what makes
 // it crash-safe: rotate FIRST, capture second — any record journaled
 // during the capture lands in the new segment and is replayed (idempotently)
-// on top of the snapshot, so no transition can fall between the two.
+// on top of the snapshot, so no transition can fall between the two. The
+// snapshot is stamped with the rotate-time last sequence, not a later
+// cursor: the capture only guarantees to reflect records journaled before
+// the rotation, and recovery skips everything at or below the stamp.
 func (s *Server) SnapshotNow() error {
 	st := s.cfg.Store
 	if st == nil {
 		return nil
 	}
-	idx, err := st.Rotate()
+	idx, lastSeq, err := st.Rotate()
 	if err != nil {
 		return err
 	}
@@ -373,7 +402,7 @@ func (s *Server) SnapshotNow() error {
 		// baseline plus an extra (unrotated-away) segment.
 		return err
 	}
-	if err := st.WriteSnapshot(idx, snap); err != nil {
+	if err := st.WriteSnapshot(idx, lastSeq, snap); err != nil {
 		return err
 	}
 	s.log.Info("snapshot written", "baseline_segment", idx, "projects", len(snap.Projects))

@@ -151,6 +151,12 @@ type Server struct {
 	workers         map[string]*workerState
 	relayEmptyUntil time.Time
 
+	// closeMu/closing gate goAsync against Close: handlers can still fire
+	// while Close drains, and a WaitGroup must never be Add-ed
+	// concurrently with Wait.
+	closeMu sync.Mutex
+	closing bool
+
 	// replaying is true while New replays recovered state: journaling,
 	// queue pushes and lifecycle metrics are suppressed so a replayed event
 	// is applied exactly once and never re-journaled.
@@ -272,14 +278,36 @@ func (s *Server) Node() *overlay.Node { return s.node }
 // QueueLen reports the number of commands waiting for workers.
 func (s *Server) QueueLen() int { return s.q.Len() }
 
-// Close stops the heartbeat monitor. The overlay node is left to its owner.
+// Close stops the heartbeat monitor and waits for background work
+// (snapshot captures, failure reports). The overlay node is left to its
+// owner.
 func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closing = true
+	s.closeMu.Unlock()
 	select {
 	case <-s.stop:
 	default:
 		close(s.stop)
 	}
 	s.wg.Wait()
+}
+
+// goAsync runs f on a tracked goroutine, or reports false when the server
+// is closing (handlers can observe a closing server; their background
+// work is simply dropped).
+func (s *Server) goAsync(f func()) bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		f()
+	}()
+	return true
 }
 
 // --- project lifecycle ---
@@ -305,21 +333,26 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 		done:     make(chan struct{}),
 		seed:     seedFromName(sub.Name),
 	}
+	// Publish the project under its own (already held) lock, then journal
+	// OUTSIDE s.mu: the journal append blocks for a group-commit fsync,
+	// which must not stall every announce/result/status lookup on the
+	// global lock. Holding p.mu instead keeps the snapshot protocol safe:
+	// a capture that sees the project blocks on p.mu until the record is
+	// durable, and a capture that scanned before the publish also rotated
+	// before it, so the record's sequence is above the snapshot's
+	// rotate-time LastSeq and is replayed.
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s.mu.Lock()
 	if _, dup := s.projects[sub.Name]; dup {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: project %q already exists", sub.Name)
 	}
-	// Journal inside s.mu: a concurrent snapshot capture scans s.projects
-	// under the same lock, so the record can never land in a compacted
-	// segment while the project is missing from the snapshot.
-	s.journal(store.Record{Type: store.RecProjectSubmitted,
-		Project: sub.Name, Note: sub.Controller, Data: sub.Params})
 	s.projects[sub.Name] = p
 	s.mu.Unlock()
+	s.journal(store.Record{Type: store.RecProjectSubmitted,
+		Project: sub.Name, Note: sub.Controller, Data: sub.Params})
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err := ctrl.Start(s.contextFor(p), sub.Params); err != nil {
 		p.state = "failed"
 		p.failErr = err.Error()
@@ -590,7 +623,10 @@ func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from strin
 		s.withProjectCommand(cmd.Project, cmd.ID, func(p *project, cs *cmdState) {
 			// Journal before the workload reply is sent: recovery must know
 			// the command may be running somewhere so it can requeue it as
-			// an orphan if the result never arrives.
+			// an orphan if the result never arrives. This holds only this
+			// project's lock across the group-commit wait — a deliberate
+			// tradeoff: the assignment must be durable before the reply
+			// releases the worker, and the global lock stays free.
 			s.journal(store.Record{Type: store.RecCommandAssigned,
 				Project: cmd.Project, Command: cmd.ID, Worker: info.ID})
 			cs.status = cmdRunning
@@ -677,11 +713,7 @@ func (s *Server) recoverOrphans(workerID string, commands map[string]string) {
 	s.met.orphaned.Inc()
 	s.log.Warn("recovering commands orphaned by idle re-announce",
 		"worker", workerID, "commands", len(commands))
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.reportFailed(workerID, commands)
-	}()
+	s.goAsync(func() { s.reportFailed(workerID, commands) })
 }
 
 // withProjectCommand runs f under the project lock if both exist.

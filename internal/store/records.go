@@ -124,7 +124,12 @@ type ProjectSnap struct {
 type Snapshot struct {
 	// TakenAt is the capture wall-clock time in Unix nanoseconds.
 	TakenAt int64
-	// LastSeq is the highest record sequence number reflected in the image.
+	// LastSeq is the highest record sequence number the image is
+	// *guaranteed* to reflect: the last sequence assigned before the WAL
+	// rotation that preceded the capture. Records above it may also be
+	// reflected (they raced the capture); recovery replays them anyway,
+	// which is safe because replay is idempotent. Skipping is only safe
+	// at or below this value.
 	LastSeq  uint64
 	Projects []ProjectSnap
 }

@@ -102,6 +102,12 @@ type Recovered struct {
 	// Torn describes a discarded torn final record ("" when the log ended
 	// cleanly).
 	Torn string
+	// Gap describes a hole in the segment chain the chosen baseline needs
+	// ("" when the chain is intact). Non-empty means compaction (or manual
+	// deletion) removed segments that recovery could not do without —
+	// typically because the newest snapshot failed to decode and recovery
+	// fell back past it — so the recovered state may be stale.
+	Gap string
 	// Segments is how many WAL segments were read.
 	Segments int
 }
@@ -121,6 +127,12 @@ type Store struct {
 	sinceSnap int
 	pending   []chan error
 	closed    bool
+	// poisoned marks the active segment as possibly ending in a torn or
+	// partial frame (a failed or shortened write). readRecords stops a
+	// segment at the first corrupt frame, so appending past the damage
+	// would silently lose every later record at recovery; the next append
+	// rotates to a fresh segment first.
+	poisoned bool
 
 	recovered *Recovered
 
@@ -201,6 +213,10 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.recovered = rec
+	if rec.Gap != "" {
+		s.log.Error("recovered state may be stale: the write-ahead log has a gap",
+			"detail", rec.Gap)
+	}
 	s.met.recoverySec.Set(time.Since(start).Seconds())
 	s.met.replayed.Set(float64(len(rec.Records)))
 	if rec.Snapshot != nil || len(rec.Records) > 0 {
@@ -247,6 +263,17 @@ func (s *Store) Append(rec Record) error {
 		s.mu.Unlock()
 		return errors.New("store: closed")
 	}
+	// A previous append left a possibly-torn frame in the active segment;
+	// anything written after it would be unreadable at recovery (a segment
+	// is only trusted up to its first corrupt frame), so open a fresh
+	// segment before this record.
+	if s.poisoned {
+		if err := s.rotateLocked(); err != nil {
+			s.mu.Unlock()
+			s.met.walErrors.Inc()
+			return fmt.Errorf("store: rotating away from poisoned segment: %w", err)
+		}
+	}
 	rec.Seq = s.nextSeq
 	rec.Time = time.Now().UnixNano()
 	frame, err := encodeFrame(&rec)
@@ -255,16 +282,37 @@ func (s *Store) Append(rec Record) error {
 		return err
 	}
 	if s.opts.WriteHook != nil {
+		full := len(frame)
 		frame, err = s.opts.WriteHook(frame)
 		if err != nil {
+			// The fault may have hit after partial bytes reached the file;
+			// treat the segment as torn either way.
+			s.poisoned = true
 			s.mu.Unlock()
 			s.met.walErrors.Inc()
 			return fmt.Errorf("store: injected write fault: %w", err)
 		}
+		if len(frame) != full {
+			// Injected torn write: put the truncated frame on disk — the
+			// image a power cut leaves behind — but report the append as
+			// failed, exactly like a real short write from the kernel. The
+			// record was never durable; acknowledging it would be a lie.
+			n, _ := s.seg.Write(frame)
+			s.segBytes += int64(n)
+			s.poisoned = true
+			s.mu.Unlock()
+			s.met.walErrors.Inc()
+			return fmt.Errorf("store: injected short write: %d of %d bytes of record %d", len(frame), full, rec.Seq)
+		}
 	}
-	if _, err := s.seg.Write(frame); err != nil {
+	if n, err := s.seg.Write(frame); err != nil || n != len(frame) {
+		s.segBytes += int64(n)
+		s.poisoned = true
 		s.mu.Unlock()
 		s.met.walErrors.Inc()
+		if err == nil {
+			err = io.ErrShortWrite
+		}
 		return fmt.Errorf("store: appending record %d: %w", rec.Seq, err)
 	}
 	s.nextSeq++
@@ -325,6 +373,11 @@ func (s *Store) syncLocked() {
 		t0 := time.Now()
 		err = s.seg.Sync()
 		s.met.fsyncTime.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			// Durability of everything in the segment is now unknown;
+			// start fresh rather than extending it.
+			s.poisoned = true
+		}
 	}
 	s.met.fsyncs.Inc()
 	for _, w := range ws {
@@ -333,7 +386,7 @@ func (s *Store) syncLocked() {
 }
 
 // ShouldSnapshot reports whether enough records have accumulated since the
-// last rotation to warrant a snapshot (Options.SnapshotEvery).
+// last snapshot rotation to warrant a snapshot (Options.SnapshotEvery).
 func (s *Store) ShouldSnapshot() bool {
 	if s.opts.SnapshotEvery <= 0 {
 		return false
@@ -343,34 +396,56 @@ func (s *Store) ShouldSnapshot() bool {
 	return s.sinceSnap >= s.opts.SnapshotEvery
 }
 
+// AppendedSinceRotation reports how many records have been appended since
+// the last snapshot rotation. Because a snapshot's LastSeq is fixed at
+// rotation, every one of these records lands in the replay tail of the
+// next recovery even if a snapshot is being captured right now — which is
+// what makes the count useful for reasoning about (and testing) how much
+// a crash would replay.
+func (s *Store) AppendedSinceRotation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnap
+}
+
 // Rotate seals the active segment (fsyncing it and releasing pending
 // group-commit waiters) and opens a fresh one, returning the new segment's
-// index. The snapshot protocol is: idx := Rotate(); capture state;
-// WriteSnapshot(idx, snap). Records appended between Rotate and the
-// capture land in segment idx and are replayed on top of the snapshot at
-// recovery; replay is idempotent, so the overlap is harmless.
-func (s *Store) Rotate() (uint64, error) {
+// index and the sequence number of the last record appended before the
+// rotation. The snapshot protocol is: idx, last := Rotate(); capture
+// state; WriteSnapshot(idx, last, snap). Records appended between Rotate
+// and the capture land in segment idx with Seq > last and are replayed on
+// top of the snapshot at recovery; replay is idempotent, so the overlap
+// is harmless. lastSeq must be the rotate-time value, NOT the append
+// cursor at capture or write time: a state capture only guarantees to
+// reflect records journaled before the rotation, and recovery skips
+// replaying anything at or below the snapshot's LastSeq.
+func (s *Store) Rotate() (idx, lastSeq uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, errors.New("store: closed")
+		return 0, 0, errors.New("store: closed")
 	}
 	if err := s.rotateLocked(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return s.segIndex, nil
+	// Only a snapshot-protocol rotation resets the hint: rotations that
+	// recover from a poisoned segment must not starve ShouldSnapshot.
+	s.sinceSnap = 0
+	return s.segIndex, s.nextSeq - 1, nil
 }
 
-// rotateLocked seals s.seg (if any) and opens segment s.segIndex+1.
+// rotateLocked seals s.seg (if any) and opens segment s.segIndex+1. A
+// poisoned segment is sealed best-effort: its tail is torn garbage anyway,
+// and refusing to rotate would pin every future append to the damage.
 func (s *Store) rotateLocked() error {
 	if s.seg != nil {
 		s.syncLocked()
 		if !s.opts.NoSync {
-			if err := s.seg.Sync(); err != nil {
+			if err := s.seg.Sync(); err != nil && !s.poisoned {
 				return fmt.Errorf("store: sealing segment %d: %w", s.segIndex, err)
 			}
 		}
-		if err := s.seg.Close(); err != nil {
+		if err := s.seg.Close(); err != nil && !s.poisoned {
 			return fmt.Errorf("store: closing segment %d: %w", s.segIndex, err)
 		}
 	}
@@ -397,18 +472,18 @@ func (s *Store) rotateLocked() error {
 	s.seg = f
 	s.segIndex = idx
 	s.segBytes = int64(len(segMagic))
-	s.sinceSnap = 0
+	s.poisoned = false
 	return nil
 }
 
 // WriteSnapshot durably records snap as the recovery baseline for segment
-// index idx (obtained from Rotate), then deletes the WAL segments and
-// snapshots it obsoletes. LastSeq is stamped by the store.
-func (s *Store) WriteSnapshot(idx uint64, snap *Snapshot) error {
+// index idx, then deletes the WAL segments and snapshots it obsoletes.
+// idx and lastSeq are the pair returned by the Rotate call that preceded
+// the state capture; stamping a later append cursor instead would make
+// recovery skip records the capture never saw.
+func (s *Store) WriteSnapshot(idx, lastSeq uint64, snap *Snapshot) error {
 	start := time.Now()
-	s.mu.Lock()
-	snap.LastSeq = s.nextSeq - 1
-	s.mu.Unlock()
+	snap.LastSeq = lastSeq
 	snap.TakenAt = time.Now().UnixNano()
 	blob, err := encodeSnapshot(snap)
 	if err != nil {
@@ -666,10 +741,43 @@ func loadDir(dir string) (*Recovered, uint64, error) {
 		break
 	}
 
+	// Audit the chain of segments the chosen baseline needs before reading
+	// it. Segment indexes are assigned contiguously, and compact() deletes
+	// everything below the *newest* snapshot — so if recovery fell back
+	// past that snapshot (it failed to decode), the segments its fallback
+	// baseline needs may already be gone. Restoring through a hole would
+	// silently produce stale state; Gap makes it loud instead.
+	var tail []dirFile
 	for _, f := range segs {
-		if f.index < baseline {
-			continue // superseded by the snapshot
+		if f.index >= baseline {
+			tail = append(tail, f)
 		}
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].index != tail[i-1].index+1 {
+			rec.Gap = fmt.Sprintf("WAL segments %d..%d are missing",
+				tail[i-1].index+1, tail[i].index-1)
+		}
+	}
+	if fellBack := len(snaps) > 0 &&
+		(rec.Snapshot == nil || baseline != snaps[len(snaps)-1].index); fellBack {
+		// With no usable snapshot, only a chain starting at the very first
+		// segment replays full history; with an older one, the chain must
+		// start at its own baseline index.
+		want := uint64(1)
+		if rec.Snapshot != nil {
+			want = baseline
+		}
+		switch {
+		case len(tail) == 0:
+			rec.Gap = "fell back past the newest snapshot with no WAL segments left to replay"
+		case tail[0].index != want:
+			rec.Gap = fmt.Sprintf("fell back past the newest snapshot, but WAL segments %d..%d were already compacted away",
+				want, tail[0].index-1)
+		}
+	}
+
+	for _, f := range tail {
 		recs, torn, err := readSegmentFile(f.path)
 		if err != nil {
 			return nil, 0, err

@@ -157,12 +157,15 @@ func TestSnapshotTruncatesAndRecovers(t *testing.T) {
 	if !s.ShouldSnapshot() {
 		t.Fatal("ShouldSnapshot should fire after SnapshotEvery appends")
 	}
-	idx, err := s.Rotate()
+	idx, last, err := s.Rotate()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if last != 4 {
+		t.Fatalf("rotate-time lastSeq = %d, want 4", last)
+	}
 	snap := &Snapshot{Projects: []ProjectSnap{{Name: "proj", Controller: "msm", Generation: 2}}}
-	if err := s.WriteSnapshot(idx, snap); err != nil {
+	if err := s.WriteSnapshot(idx, last, snap); err != nil {
 		t.Fatal(err)
 	}
 	if s.ShouldSnapshot() {
@@ -207,8 +210,8 @@ func TestSnapshotWithoutWALSegments(t *testing.T) {
 	opts := testOptions(t)
 	s := mustOpen(t, opts)
 	appendN(t, s, 2)
-	idx, _ := s.Rotate()
-	if err := s.WriteSnapshot(idx, &Snapshot{Projects: []ProjectSnap{{Name: "p"}}}); err != nil {
+	idx, last, _ := s.Rotate()
+	if err := s.WriteSnapshot(idx, last, &Snapshot{Projects: []ProjectSnap{{Name: "p"}}}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -236,13 +239,13 @@ func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
 	opts := testOptions(t)
 	s := mustOpen(t, opts)
 	appendN(t, s, 2)
-	idx1, _ := s.Rotate()
-	if err := s.WriteSnapshot(idx1, &Snapshot{Projects: []ProjectSnap{{Name: "old"}}}); err != nil {
+	idx1, last1, _ := s.Rotate()
+	if err := s.WriteSnapshot(idx1, last1, &Snapshot{Projects: []ProjectSnap{{Name: "old"}}}); err != nil {
 		t.Fatal(err)
 	}
 	appendN(t, s, 2)
-	idx2, _ := s.Rotate()
-	if err := s.WriteSnapshot(idx2, &Snapshot{Projects: []ProjectSnap{{Name: "new"}}}); err != nil {
+	idx2, last2, _ := s.Rotate()
+	if err := s.WriteSnapshot(idx2, last2, &Snapshot{Projects: []ProjectSnap{{Name: "new"}}}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -258,6 +261,122 @@ func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
 	defer s2.Close()
 	if s2.Recovered().Snapshot != nil {
 		t.Fatal("corrupt snapshot should be rejected")
+	}
+	// Compaction already deleted the segments the fallback would need, so
+	// the recovered state is stale — recovery must say so.
+	if s2.Recovered().Gap == "" {
+		t.Fatal("stale fallback past compacted segments not flagged as a gap")
+	}
+}
+
+// TestRecordsDuringCaptureAreReplayed pins the snapshot protocol: the
+// snapshot's LastSeq is the rotate-time sequence, so records journaled
+// between Rotate and WriteSnapshot — which the captured state may not
+// reflect — are replayed at recovery instead of being skipped.
+func TestRecordsDuringCaptureAreReplayed(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	appendN(t, s, 3)
+	idx, last, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Journaling racing the state capture: the snapshot below does NOT
+	// reflect these two records.
+	appendN(t, s, 2)
+	if err := s.WriteSnapshot(idx, last, &Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if rec.Snapshot == nil || rec.Snapshot.LastSeq != 3 {
+		t.Fatalf("snapshot LastSeq should be the rotate-time 3, got %+v", rec.Snapshot)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("replay tail = %d records, want the 2 journaled during the capture", len(rec.Records))
+	}
+	if rec.Records[0].Seq != 4 || rec.Records[1].Seq != 5 {
+		t.Fatalf("tail seqs %d,%d; want 4,5", rec.Records[0].Seq, rec.Records[1].Seq)
+	}
+}
+
+// TestAppendsAfterWriteFaultSurviveRecovery pins the poisoned-segment
+// rotation: once a write fault may have torn the active segment, later
+// acknowledged appends must land in a fresh segment, out of the shadow of
+// the corruption, and survive recovery.
+func TestAppendsAfterWriteFaultSurviveRecovery(t *testing.T) {
+	opts := testOptions(t)
+	var fault string
+	opts.WriteHook = func(frame []byte) ([]byte, error) {
+		switch fault {
+		case "error":
+			fault = ""
+			return nil, errors.New("disk on fire")
+		case "short":
+			fault = ""
+			return frame[:len(frame)/2], nil
+		}
+		return frame, nil
+	}
+	s := mustOpen(t, opts)
+	appendN(t, s, 2)
+	fault = "error"
+	if err := s.Append(Record{Type: RecResult}); err == nil {
+		t.Fatal("injected error not surfaced")
+	}
+	appendN(t, s, 2)
+	fault = "short"
+	if err := s.Append(Record{Type: RecResult}); err == nil {
+		t.Fatal("injected short write not surfaced")
+	}
+	appendN(t, s, 3)
+	s.Close()
+
+	s2 := mustOpen(t, Options{Dir: opts.Dir, NoSync: true})
+	defer s2.Close()
+	rec := s2.Recovered()
+	if len(rec.Records) != 7 {
+		t.Fatalf("recovered %d records, want all 7 acknowledged ones", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has Seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if rec.Torn == "" {
+		t.Fatal("torn frame left by the short write not reported")
+	}
+}
+
+// TestMissingMiddleSegmentFlagsGap: a hole mid-chain means acknowledged
+// records are gone; recovery must flag it rather than silently skipping.
+func TestMissingMiddleSegmentFlagsGap(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	appendN(t, s, 1)
+	if _, _, err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 1)
+	if _, _, err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 1)
+	s.Close()
+
+	segs, _, _ := scanDir(opts.Dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	os.Remove(segs[1].path)
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	if s2.Recovered().Gap == "" {
+		t.Fatal("missing middle segment not flagged as a gap")
 	}
 }
 
@@ -283,10 +402,14 @@ func TestWriteHookFaults(t *testing.T) {
 	}
 	fail = false
 
-	// A short (torn) write is invisible to the writer but must be dropped
-	// at recovery, preserving the intact prefix.
+	// A short (torn) write leaves a truncated frame on disk; the append
+	// must report failure — the record was never durable — and recovery
+	// must drop it, preserving the intact prefix.
 	short = true
-	_ = s.Append(Record{Type: RecResult, Project: "torn"})
+	if err := s.Append(Record{Type: RecResult, Project: "torn"}); err == nil {
+		t.Fatal("short write not surfaced as an append error")
+	}
+	short = false
 	s.Close()
 
 	s2 := mustOpen(t, Options{Dir: opts.Dir, NoSync: true, Obs: obs.New()})
@@ -337,8 +460,8 @@ func TestMetricsRecorded(t *testing.T) {
 	if s.met.fsyncs.Value() == 0 {
 		t.Fatal("fsync batches counter never incremented")
 	}
-	idx, _ := s.Rotate()
-	s.WriteSnapshot(idx, &Snapshot{})
+	idx, last, _ := s.Rotate()
+	s.WriteSnapshot(idx, last, &Snapshot{})
 	if got := s.met.snapshots.Value(); got != 1 {
 		t.Fatalf("snapshots counter = %d, want 1", got)
 	}
@@ -355,8 +478,8 @@ func TestInspect(t *testing.T) {
 	opts := testOptions(t)
 	s := mustOpen(t, opts)
 	appendN(t, s, 2)
-	idx, _ := s.Rotate()
-	s.WriteSnapshot(idx, &Snapshot{Projects: []ProjectSnap{{
+	idx, last, _ := s.Rotate()
+	s.WriteSnapshot(idx, last, &Snapshot{Projects: []ProjectSnap{{
 		Name: "proj", Controller: "msm", State: "running", Generation: 1}}})
 	appendN(t, s, 2)
 	s.Close()

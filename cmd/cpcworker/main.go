@@ -33,6 +33,7 @@ import (
 
 	"copernicus/internal/chaos"
 	"copernicus/internal/engines"
+	"copernicus/internal/md"
 	"copernicus/internal/obs"
 	"copernicus/internal/overlay"
 	"copernicus/internal/retry"
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	serverList := flag.String("server", "127.0.0.1:7770", "comma-separated server addresses; first responder becomes home, the rest are re-home candidates")
-	cores := flag.Int("cores", runtime.NumCPU(), "cores to announce")
+	cores := flag.Int("cores", runtime.NumCPU(), "cores to announce; MD commands clamp their force-loop shards to this grant (payload Shards<=0 auto-sizes to it)")
 	platform := flag.String("platform", "smp", "platform plugin name")
 	poll := flag.Duration("poll", 2*time.Second, "idle re-announce interval")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token")
@@ -68,6 +69,10 @@ func main() {
 		}
 	}
 	o := obs.NewWith(obs.Options{LogWriter: os.Stderr, LogLevel: level})
+	// Kernel observability: the MD engine records copernicus_md_* (pair
+	// throughput, rebuild cadence, force-loop time, ns/day) into the same
+	// bundle served on -metrics-addr.
+	md.EnableMetrics(o)
 
 	id, err := overlay.NewIdentity()
 	if err != nil {

@@ -13,8 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"runtime"
 
 	"copernicus/internal/md"
+	"copernicus/internal/obs"
 	"copernicus/internal/topology"
 )
 
@@ -27,11 +30,26 @@ func main() {
 	thermostat := flag.String("thermostat", "nose-hoover", "none, berendsen, langevin, nose-hoover")
 	temp := flag.Float64("temp", 120, "target temperature, K")
 	cutoff := flag.Float64("cutoff", 0.9, "non-bonded cutoff, nm")
-	shards := flag.Int("shards", 1, "force-loop shards (thread level)")
+	shards := flag.Int("shards", 0, "force-loop shards (thread level); 0 auto-sizes to all cores (runtime.NumCPU)")
 	ranks := flag.Int("ranks", 0, "message-passing ranks; >0 selects the MPI-style driver")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	logEvery := flag.Int("log", 500, "energy log interval, steps")
+	metricsAddr := flag.String("metrics-addr", "", "serve copernicus_md_* kernel metrics on this address (e.g. :9092); empty disables")
 	flag.Parse()
+
+	if *shards <= 0 {
+		*shards = runtime.NumCPU()
+	}
+	if *metricsAddr != "" {
+		o := obs.New()
+		md.EnableMetrics(o)
+		go func() {
+			fmt.Printf("mdrun: metrics on http://%s/metrics\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, o.Handler()); err != nil {
+				log.Printf("mdrun: metrics: %v", err)
+			}
+		}()
+	}
 
 	var sys *topology.System
 	var err error
@@ -90,6 +108,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("mdrun: %v", err)
 	}
+	defer sim.Close()
 	fmt.Printf("%10s %12s %12s %12s %10s\n", "step", "time/ps", "Epot", "Etot", "T/K")
 	for done := 0; done < *steps; {
 		chunk := *logEvery

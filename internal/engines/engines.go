@@ -217,7 +217,13 @@ func (e *MDEngine) Run(ctx context.Context, spec wire.CommandSpec, cores int, pr
 		return nil, err
 	}
 	cfg := p.Config
-	if cores > 1 {
+	// Shard auto-sizing: the force-loop fan-out is clamped to the command's
+	// core grant (a worker announcing -cores N must never run wider than
+	// its grant), and Shards <= 0 auto-sizes to the full grant.
+	if cores < 1 {
+		cores = 1
+	}
+	if cfg.Shards <= 0 || cfg.Shards > cores {
 		cfg.Shards = cores
 	}
 	var sim *md.Sim
@@ -229,6 +235,7 @@ func (e *MDEngine) Run(ctx context.Context, spec wire.CommandSpec, cores int, pr
 	if err != nil {
 		return nil, err
 	}
+	defer sim.Close()
 
 	var out MDOutput
 	sample := func() {

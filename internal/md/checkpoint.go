@@ -11,19 +11,28 @@ import (
 
 // checkpointVersion guards against decoding checkpoints from incompatible
 // engine revisions; bump on any change to checkpointData.
-const checkpointVersion = 1
+// v2: added the neighbour-rebuild reference state (NbrRef, SinceRebuild) so
+// displacement-triggered rebuilds resume on the exact schedule of the
+// original run.
+const checkpointVersion = 2
 
 // checkpointData is the serialised simulation state. Positions and
 // velocities plus the RNG and thermostat state are sufficient to continue
-// bit-for-bit; forces are recomputed on resume.
+// bit-for-bit; forces are recomputed on resume. NbrRef carries the positions
+// at the last neighbour rebuild: resuming rebuilds the pair list from those
+// (not the current) coordinates, so the resumed worker's list — and with it
+// every subsequent displacement trigger — is bitwise identical to the
+// original's.
 type checkpointData struct {
-	Version int
-	Step    int64
-	Time    float64
-	Pos     []vec.V3
-	Vel     []vec.V3
-	Rng     []byte
-	XiNH    float64
+	Version      int
+	Step         int64
+	Time         float64
+	Pos          []vec.V3
+	Vel          []vec.V3
+	Rng          []byte
+	XiNH         float64
+	NbrRef       []vec.V3
+	SinceRebuild int
 }
 
 // Checkpoint serialises the full dynamic state of the simulation. The
@@ -38,13 +47,15 @@ func (s *Sim) Checkpoint() ([]byte, error) {
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
 	err = enc.Encode(checkpointData{
-		Version: checkpointVersion,
-		Step:    s.step,
-		Time:    s.time,
-		Pos:     s.pos,
-		Vel:     s.vel,
-		Rng:     rstate,
-		XiNH:    s.xiNH,
+		Version:      checkpointVersion,
+		Step:         s.step,
+		Time:         s.time,
+		Pos:          s.pos,
+		Vel:          s.vel,
+		Rng:          rstate,
+		XiNH:         s.xiNH,
+		NbrRef:       s.nbrRef,
+		SinceRebuild: s.sinceRebuild,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("md: encoding checkpoint: %w", err)
@@ -67,7 +78,7 @@ func Resume(sys *topology.System, cfg Config, checkpoint []byte) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data.Pos) != len(s.pos) || len(data.Vel) != len(s.vel) {
+	if len(data.Pos) != len(s.pos) || len(data.Vel) != len(s.vel) || len(data.NbrRef) != len(s.pos) {
 		return nil, fmt.Errorf("md: checkpoint has %d atoms, system has %d", len(data.Pos), len(s.pos))
 	}
 	copy(s.pos, data.Pos)
@@ -78,7 +89,12 @@ func Resume(sys *topology.System, cfg Config, checkpoint []byte) (*Sim, error) {
 	if err := s.rand.UnmarshalBinary(data.Rng); err != nil {
 		return nil, fmt.Errorf("md: restoring rng: %w", err)
 	}
-	s.nbl.rebuild(s.pos, s.top)
+	// Rebuild the pair list from the checkpointed rebuild-reference
+	// positions, then evaluate forces at the current ones — exactly the
+	// Verlet-list state the original run was in when it checkpointed.
+	s.nbl.rebuildWith(data.NbrRef, s.top, s.cfg.Shards)
+	copy(s.nbrRef, data.NbrRef)
+	s.sinceRebuild = data.SinceRebuild
 	s.computeForces()
 	return s, nil
 }

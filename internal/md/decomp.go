@@ -119,28 +119,24 @@ func RunRanks(sys *topology.System, cfg Config, nRanks, steps int) (*Sim, RankSt
 		_ = gathered
 
 		// Neighbour list + force computation, decomposed over pair ranges.
-		if s.step%int64(s.cfg.NeighborEvery) == 0 {
-			s.nbl.rebuild(s.pos, s.top)
+		// The rebuild policy (displacement trigger + ceiling) is shared
+		// with the in-process integrator so both paths see identical
+		// schedules and identical packed lists.
+		if err := s.maybeRebuild(); err != nil {
+			return nil, stats, err
 		}
-		pairs := s.nbl.pairs
+		pl := &s.nbl.plist
+		np := pl.Len()
 		partials := make([][]vec.V3, nRanks)
 		var eLJ, eCoul float64
 		var eMu sync.Mutex
-		chunk := (len(pairs) + nRanks - 1) / nRanks
 		for r := 0; r < nRanks; r++ {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
 				buf := make([]vec.V3, n)
-				lo := r * chunk
-				if lo > len(pairs) {
-					lo = len(pairs)
-				}
-				hi := lo + chunk
-				if hi > len(pairs) {
-					hi = len(pairs)
-				}
-				lj, coul := s.nonbondedRange(pairs[lo:hi], buf)
+				lo, hi := chunkRange(np, nRanks, r)
+				lj, coul := s.nonbondedRange(pl, lo, hi, buf)
 				eMu.Lock()
 				eLJ += lj
 				eCoul += coul
@@ -181,9 +177,9 @@ func RunRanks(sys *topology.System, cfg Config, nRanks, steps int) (*Sim, RankSt
 			}
 		}
 		// Bonded terms are cheap; rank 0 computes them (as small codes do).
-		s.bondForces()
-		s.angleForces()
-		s.dihedralForces()
+		s.pot.Bond = s.bondRange(0, len(s.top.Bonds), s.frc)
+		s.pot.Angle = s.angleRange(0, len(s.top.Angles), s.frc)
+		s.pot.Dihedral = s.dihedralRange(0, len(s.top.Dihedrals), s.frc)
 
 		// Second half kick.
 		for i := range s.vel {

@@ -3,102 +3,185 @@ package md
 import (
 	"math"
 	"sync"
+	"time"
 
-	"copernicus/internal/topology"
 	"copernicus/internal/vec"
 )
 
-// shardPool holds per-shard force buffers and the worker goroutine fan-out
-// used by the non-bonded loop — the "thread" level of the paper's hierarchy.
+// parallelMinWork is the total term count (pairs + bonded terms) below which
+// the sharded path is not worth its synchronisation overhead.
+const parallelMinWork = 256
+
+// shardPool holds the per-shard force buffers and the persistent worker
+// goroutines of the force loop — the "thread" level of the paper's
+// hierarchy. Workers are spawned lazily on the first parallel force call and
+// live for the Sim's lifetime, fed one closure per shard per phase through an
+// unbuffered channel; this replaces the per-step goroutine fan-out, whose
+// spawn cost dominated small-system steps.
 type shardPool struct {
 	n      int // shard count
 	forces [][]vec.V3
 	eLJ    []float64
 	eCoul  []float64
+	eBond  []float64
+	eAngle []float64
+	eDih   []float64
+
+	work    chan func()
+	started bool
+	closed  bool
 }
 
 func newShardPool(shards, natoms int) *shardPool {
-	p := &shardPool{
-		n:      shards,
-		forces: make([][]vec.V3, shards),
-		eLJ:    make([]float64, shards),
-		eCoul:  make([]float64, shards),
+	p := &shardPool{n: shards}
+	if shards <= 1 {
+		return p
 	}
+	p.forces = make([][]vec.V3, shards)
 	for i := range p.forces {
 		p.forces[i] = make([]vec.V3, natoms)
 	}
+	p.eLJ = make([]float64, shards)
+	p.eCoul = make([]float64, shards)
+	p.eBond = make([]float64, shards)
+	p.eAngle = make([]float64, shards)
+	p.eDih = make([]float64, shards)
 	return p
+}
+
+// run executes fn(w) for every shard w on the persistent workers and blocks
+// until all have finished.
+func (p *shardPool) run(fn func(w int)) {
+	if !p.started {
+		p.started = true
+		p.work = make(chan func())
+		for w := 0; w < p.n; w++ {
+			go func() {
+				for f := range p.work {
+					f()
+				}
+			}()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.n)
+	for w := 0; w < p.n; w++ {
+		w := w
+		p.work <- func() {
+			defer wg.Done()
+			fn(w)
+		}
+	}
+	wg.Wait()
+}
+
+// close terminates the persistent workers. Safe to call multiple times and
+// on a pool that never started.
+func (p *shardPool) close() {
+	if p.started && !p.closed {
+		p.closed = true
+		close(p.work)
+	}
+}
+
+// chunkRange splits n items into parts even chunks and returns chunk w.
+func chunkRange(n, parts, w int) (lo, hi int) {
+	chunk := (n + parts - 1) / parts
+	lo = w * chunk
+	if lo > n {
+		lo = n
+	}
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // computeForces evaluates all force-field terms into s.frc and stores the
 // potential-energy breakdown in s.pot.
+//
+// With Shards <= 1 (or a trivially small system) everything runs inline and
+// serially. Otherwise every term class — the packed non-bonded pairs and the
+// bonded bond/angle/dihedral lists — is partitioned across the shard pool
+// into private force buffers, followed by a parallel reduction in which each
+// shard sums a disjoint atom range across all buffers, replacing the old
+// serial O(shards × natoms) fold.
 func (s *Sim) computeForces() {
-	for i := range s.frc {
-		s.frc[i] = vec.Zero
-	}
-	s.pot = Energies{}
-	s.nonbondedForces()
-	s.bondForces()
-	s.angleForces()
-	s.dihedralForces()
-}
-
-// nonbondedForces evaluates LJ + reaction-field Coulomb over the pair list,
-// sharded across goroutines with private force accumulators that are reduced
-// at the end. With Shards == 1 it runs inline with no synchronisation.
-func (s *Sim) nonbondedForces() {
-	pairs := s.nbl.pairs
-	if s.shards.n <= 1 || len(pairs) < 256 {
-		lj, coul := s.nonbondedRange(pairs, s.frc)
-		s.pot.LJ += lj
-		s.pot.Coulomb += coul
-		return
+	m := loadMDMetrics()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
 	}
 
+	pl := &s.nbl.plist
+	np := pl.Len()
+	nb, na, nd := len(s.top.Bonds), len(s.top.Angles), len(s.top.Dihedrals)
 	ns := s.shards.n
-	chunk := (len(pairs) + ns - 1) / ns
-	var wg sync.WaitGroup
-	for w := 0; w < ns; w++ {
-		lo := w * chunk
-		if lo >= len(pairs) {
-			break
+	s.pot = Energies{}
+
+	if ns <= 1 || np+nb+na+nd < parallelMinWork {
+		for i := range s.frc {
+			s.frc[i] = vec.Zero
 		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			buf := s.shards.forces[w]
+		s.pot.LJ, s.pot.Coulomb = s.nonbondedRange(pl, 0, np, s.frc)
+		s.pot.Bond = s.bondRange(0, nb, s.frc)
+		s.pot.Angle = s.angleRange(0, na, s.frc)
+		s.pot.Dihedral = s.dihedralRange(0, nd, s.frc)
+	} else {
+		p := s.shards
+		p.run(func(w int) {
+			buf := p.forces[w]
 			for i := range buf {
 				buf[i] = vec.Zero
 			}
-			s.shards.eLJ[w], s.shards.eCoul[w] = s.nonbondedRange(pairs[lo:hi], buf)
-		}(w, lo, hi)
+			lo, hi := chunkRange(np, ns, w)
+			p.eLJ[w], p.eCoul[w] = s.nonbondedRange(pl, lo, hi, buf)
+			lo, hi = chunkRange(nb, ns, w)
+			p.eBond[w] = s.bondRange(lo, hi, buf)
+			lo, hi = chunkRange(na, ns, w)
+			p.eAngle[w] = s.angleRange(lo, hi, buf)
+			lo, hi = chunkRange(nd, ns, w)
+			p.eDih[w] = s.dihedralRange(lo, hi, buf)
+		})
+		n := len(s.frc)
+		p.run(func(w int) {
+			lo, hi := chunkRange(n, ns, w)
+			for i := lo; i < hi; i++ {
+				f := p.forces[0][i]
+				for b := 1; b < ns; b++ {
+					f = f.Add(p.forces[b][i])
+				}
+				s.frc[i] = f
+			}
+		})
+		for w := 0; w < ns; w++ {
+			s.pot.LJ += p.eLJ[w]
+			s.pot.Coulomb += p.eCoul[w]
+			s.pot.Bond += p.eBond[w]
+			s.pot.Angle += p.eAngle[w]
+			s.pot.Dihedral += p.eDih[w]
+		}
 	}
-	wg.Wait()
-	for w := 0; w < ns; w++ {
-		if w*chunk >= len(pairs) {
-			break
-		}
-		buf := s.shards.forces[w]
-		for i := range s.frc {
-			s.frc[i] = s.frc[i].Add(buf[i])
-		}
-		s.pot.LJ += s.shards.eLJ[w]
-		s.pot.Coulomb += s.shards.eCoul[w]
+
+	if m != nil {
+		dur := time.Since(t0).Seconds()
+		m.forceSeconds.Observe(dur)
+		m.pairsTotal.Add(uint64(np))
+		s.winPairs += int64(np)
+		s.winForceSec += dur
 	}
 }
 
-// nonbondedRange computes LJ and reaction-field Coulomb interactions for a
-// slice of the pair list, accumulating forces into out. It returns the LJ
-// and Coulomb energy contributions.
+// nonbondedRange computes LJ and reaction-field Coulomb interactions for the
+// packed pair range [lo, hi), accumulating forces into out. It returns the
+// LJ and Coulomb energy contributions. All per-pair parameters come baked
+// into the pair list; the loop reads no topology tables.
 //
 // Reaction field: V(r) = f q_i q_j (1/r + k_rf r² − c_rf) for r < r_c, with
 // k_rf = (ε−1)/((2ε+1) r_c³) and c_rf = 1/r_c + k_rf r_c², so the potential
 // and field vanish smoothly at the cutoff — the paper's villin protocol.
-func (s *Sim) nonbondedRange(pairs []pair, out []vec.V3) (eLJ, eCoul float64) {
+func (s *Sim) nonbondedRange(pl *pairList, lo, hi int, out []vec.V3) (eLJ, eCoul float64) {
 	rc := s.cfg.Cutoff
 	rc2 := rc * rc
 	var krf, crf float64
@@ -116,10 +199,12 @@ func (s *Sim) nonbondedRange(pairs []pair, out []vec.V3) (eLJ, eCoul float64) {
 	invRc2 := 1 / rc2
 	invRc6 := invRc2 * invRc2 * invRc2
 
-	atoms := s.top.Atoms
-	for _, p := range pairs {
-		i, j := int(p.i), int(p.j)
-		d := s.box.MinImage(s.pos[i], s.pos[j])
+	pos := s.pos
+	ai, aj := pl.ai, pl.aj
+	c6s, c12s, qqfs := pl.c6, pl.c12, pl.qqf
+	for k := lo; k < hi; k++ {
+		i, j := ai[k], aj[k]
+		d := s.box.MinImage(pos[i], pos[j])
 		r2 := d.Norm2()
 		if r2 > rc2 || r2 == 0 {
 			continue
@@ -127,15 +212,13 @@ func (s *Sim) nonbondedRange(pairs []pair, out []vec.V3) (eLJ, eCoul float64) {
 		inv2 := 1 / r2
 		inv6 := inv2 * inv2 * inv2
 
-		c6, c12 := s.top.LJPair(atoms[i].Type, atoms[j].Type)
+		c6, c12 := c6s[k], c12s[k]
 		// F(r)·r̂/r = (12 c12 r⁻¹² − 6 c6 r⁻⁶) / r²
 		fr := (12*c12*inv6*inv6 - 6*c6*inv6) * inv2
 		eLJ += c12*inv6*inv6 - c6*inv6 - (c12*invRc6*invRc6 - c6*invRc6)
 
-		qq := atoms[i].Charge * atoms[j].Charge
-		if qq != 0 {
+		if qqf := qqfs[k]; qqf != 0 {
 			r := math.Sqrt(r2)
-			qqf := topology.CoulombConst * qq
 			eCoul += qqf * (1/r + krf*r2 - crf)
 			fr += qqf * (1/(r2*r) - 2*krf)
 		}
@@ -147,26 +230,31 @@ func (s *Sim) nonbondedRange(pairs []pair, out []vec.V3) (eLJ, eCoul float64) {
 	return eLJ, eCoul
 }
 
-// bondForces evaluates harmonic bonds V = ½K(r−r₀)².
-func (s *Sim) bondForces() {
-	for _, b := range s.top.Bonds {
+// bondRange evaluates harmonic bonds V = ½K(r−r₀)² for the term range
+// [lo, hi), accumulating forces into out and returning the energy.
+func (s *Sim) bondRange(lo, hi int, out []vec.V3) float64 {
+	e := 0.0
+	for _, b := range s.top.Bonds[lo:hi] {
 		d := s.box.MinImage(s.pos[b.I], s.pos[b.J])
 		r := d.Norm()
 		if r == 0 {
 			continue
 		}
 		dr := r - b.R0
-		s.pot.Bond += 0.5 * b.K * dr * dr
+		e += 0.5 * b.K * dr * dr
 		// F_I = −K (r−r₀) r̂
 		f := d.Scale(-b.K * dr / r)
-		s.frc[b.I] = s.frc[b.I].Add(f)
-		s.frc[b.J] = s.frc[b.J].Sub(f)
+		out[b.I] = out[b.I].Add(f)
+		out[b.J] = out[b.J].Sub(f)
 	}
+	return e
 }
 
-// angleForces evaluates harmonic angles V = ½K(θ−θ₀)².
-func (s *Sim) angleForces() {
-	for _, a := range s.top.Angles {
+// angleRange evaluates harmonic angles V = ½K(θ−θ₀)² for the term range
+// [lo, hi), accumulating forces into out and returning the energy.
+func (s *Sim) angleRange(lo, hi int, out []vec.V3) float64 {
+	e := 0.0
+	for _, a := range s.top.Angles[lo:hi] {
 		rij := s.box.MinImage(s.pos[a.I], s.pos[a.J])
 		rkj := s.box.MinImage(s.pos[a.K], s.pos[a.J])
 		nij, nkj := rij.Norm(), rkj.Norm()
@@ -177,7 +265,7 @@ func (s *Sim) angleForces() {
 		cosT = math.Max(-1, math.Min(1, cosT))
 		theta := math.Acos(cosT)
 		dT := theta - a.Theta0
-		s.pot.Angle += 0.5 * a.KForce * dT * dT
+		e += 0.5 * a.KForce * dT * dT
 
 		sinT := math.Sqrt(1 - cosT*cosT)
 		if sinT < 1e-8 {
@@ -187,21 +275,23 @@ func (s *Sim) angleForces() {
 		c := -a.KForce * dT / sinT
 		fi := rkj.Scale(1 / (nij * nkj)).Sub(rij.Scale(cosT / (nij * nij))).Scale(c)
 		fk := rij.Scale(1 / (nij * nkj)).Sub(rkj.Scale(cosT / (nkj * nkj))).Scale(c)
-		s.frc[a.I] = s.frc[a.I].Add(fi)
-		s.frc[a.K] = s.frc[a.K].Add(fk)
-		s.frc[a.J] = s.frc[a.J].Sub(fi.Add(fk))
+		out[a.I] = out[a.I].Add(fi)
+		out[a.K] = out[a.K].Add(fk)
+		out[a.J] = out[a.J].Sub(fi.Add(fk))
 	}
+	return e
 }
 
-// dihedralForces evaluates periodic dihedrals V = K(1 + cos(nφ − φ₀)) with
-// the Gromacs dih_angle/do_dih_fup vector decomposition: with
-// r_ij = r_i − r_j, r_kj = r_k − r_j, r_kl = r_k − r_l,
+// dihedralRange evaluates periodic dihedrals V = K(1 + cos(nφ − φ₀)) for the
+// term range [lo, hi) with the Gromacs dih_angle/do_dih_fup vector
+// decomposition: with r_ij = r_i − r_j, r_kj = r_k − r_j, r_kl = r_k − r_l,
 // m = r_ij × r_kj, n = r_kj × r_kl, the signed angle is
 // φ = atan2((r_ij·n)|r_kj|, m·n), and
 // F_i = −(dV/dφ)(|r_kj|/|m|²) m, F_l = (dV/dφ)(|r_kj|/|n|²) n,
 // with F_j, F_k fixed by momentum and torque conservation.
-func (s *Sim) dihedralForces() {
-	for _, d := range s.top.Dihedrals {
+func (s *Sim) dihedralRange(lo, hi int, out []vec.V3) float64 {
+	e := 0.0
+	for _, d := range s.top.Dihedrals[lo:hi] {
 		rij := s.box.MinImage(s.pos[d.I], s.pos[d.J])
 		rkj := s.box.MinImage(s.pos[d.K], s.pos[d.J])
 		rkl := s.box.MinImage(s.pos[d.K], s.pos[d.L])
@@ -217,7 +307,7 @@ func (s *Sim) dihedralForces() {
 		phi := math.Atan2(rij.Dot(nvec)*rkjn, m.Dot(nvec))
 
 		nf := float64(d.Mult)
-		s.pot.Dihedral += d.KForce * (1 + math.Cos(nf*phi-d.Phi0))
+		e += d.KForce * (1 + math.Cos(nf*phi-d.Phi0))
 		// dV/dφ = −K n sin(nφ − φ₀)
 		dVdPhi := -d.KForce * nf * math.Sin(nf*phi-d.Phi0)
 
@@ -229,11 +319,12 @@ func (s *Sim) dihedralForces() {
 		fJ := sv.Sub(fI)
 		fK := fL.Neg().Sub(sv)
 
-		s.frc[d.I] = s.frc[d.I].Add(fI)
-		s.frc[d.J] = s.frc[d.J].Add(fJ)
-		s.frc[d.K] = s.frc[d.K].Add(fK)
-		s.frc[d.L] = s.frc[d.L].Add(fL)
+		out[d.I] = out[d.I].Add(fI)
+		out[d.J] = out[d.J].Add(fJ)
+		out[d.K] = out[d.K].Add(fK)
+		out[d.L] = out[d.L].Add(fL)
 	}
+	return e
 }
 
 // Forces returns a copy of the current force array (for testing and the

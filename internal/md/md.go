@@ -20,6 +20,7 @@ package md
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"copernicus/internal/rng"
 	"copernicus/internal/topology"
@@ -65,7 +66,7 @@ type Config struct {
 	Dt            float64        // integration timestep, ps
 	Cutoff        float64        // non-bonded cutoff, nm
 	Skin          float64        // Verlet-list skin added to the cutoff, nm
-	NeighborEvery int            // neighbour-list rebuild interval, steps
+	NeighborEvery int            // neighbour-list rebuild ceiling, steps
 	Thermostat    ThermostatKind // temperature coupling algorithm
 	Temperature   float64        // target temperature, K
 	TauT          float64        // Berendsen/Nosé–Hoover coupling time, ps
@@ -74,6 +75,15 @@ type Config struct {
 	Shards        int            // goroutine shards for the force loop; <=1 serial
 	Seed          uint64         // RNG seed for velocities and Langevin noise
 	COMEvery      int            // centre-of-mass motion removal interval; 0 disables
+
+	// FixedCadenceRebuild disables the displacement-triggered neighbour
+	// rebuild criterion and rebuilds on the blind NeighborEvery cadence
+	// instead (the pre-overhaul behaviour, kept for A/B drift tests). The
+	// default policy rebuilds only when some atom has moved more than
+	// Skin/2 since the last rebuild — the condition under which the Verlet
+	// list could start missing in-cutoff pairs — with NeighborEvery as a
+	// hard ceiling.
+	FixedCadenceRebuild bool
 }
 
 // DefaultConfig returns the parameters used by the paper's protocol where
@@ -159,6 +169,20 @@ type Sim struct {
 	nbl  *neighborList
 	rand *rng.Source
 
+	// Displacement-triggered rebuild state: positions at the last rebuild,
+	// the number of steps taken since, and a lifetime rebuild count.
+	nbrRef       []vec.V3
+	sinceRebuild int
+	rebuilds     int64
+
+	// Throughput-metric sampling window (only advanced when EnableMetrics
+	// has been called).
+	winSteps    int
+	winPairs    int64
+	winForceSec float64
+	winWall     time.Time
+	winSimTime  float64
+
 	// Nosé–Hoover heat-bath variable and its "mass".
 	xiNH float64
 	qNH  float64
@@ -199,10 +223,16 @@ func New(sys *topology.System, cfg Config) (*Sim, error) {
 	}
 	s.nbl = newNeighborList(s.box, cfg.Cutoff+cfg.Skin)
 	s.shards = newShardPool(cfg.Shards, n)
-	s.nbl.rebuild(s.pos, s.top)
+	s.nbrRef = make([]vec.V3, n)
+	s.rebuildNow(rebuildInitial)
 	s.computeForces()
 	return s, nil
 }
+
+// Close releases the persistent force-loop workers. It is safe to call on a
+// serial simulation (which never starts any) and to call more than once;
+// after Close the Sim must not be stepped again.
+func (s *Sim) Close() { s.shards.close() }
 
 // drawVelocities samples Maxwell–Boltzmann velocities and removes the net
 // centre-of-mass momentum.
@@ -288,9 +318,10 @@ func (s *Sim) step1() error {
 		s.pos[i] = s.box.Wrap(s.pos[i].MulAdd(dt, s.vel[i]))
 	}
 
-	// Refresh neighbours and forces.
-	if s.step%int64(s.cfg.NeighborEvery) == 0 {
-		s.nbl.rebuild(s.pos, s.top)
+	// Refresh neighbours (displacement-triggered, ceiling-bounded) and
+	// forces.
+	if err := s.maybeRebuild(); err != nil {
+		return err
 	}
 	s.computeForces()
 
@@ -316,15 +347,113 @@ func (s *Sim) step1() error {
 	s.step++
 	s.time += dt
 
-	if s.step%int64(s.cfg.NeighborEvery) == 0 {
-		// Cheap stability check once per neighbour cycle.
-		for i := range s.pos {
-			if !s.pos[i].IsFinite() || !s.vel[i].IsFinite() {
-				return fmt.Errorf("md: simulation diverged at step %d (atom %d)", s.step, i)
-			}
-		}
+	if m := loadMDMetrics(); m != nil {
+		m.steps.Inc()
+		s.tickMetricsWindow(m)
 	}
 	return nil
+}
+
+// Rebuild trigger reasons, also the metric label values.
+const (
+	rebuildInitial      = "initial"
+	rebuildCeiling      = "ceiling"
+	rebuildDisplacement = "displacement"
+)
+
+// maybeRebuild advances the rebuild cycle counter and regenerates the
+// neighbour list when either trigger fires: the hard NeighborEvery ceiling,
+// or (unless FixedCadenceRebuild) some atom having moved more than Skin/2
+// since the last rebuild, the point at which the Verlet list can no longer
+// be trusted. Both the rebuild decision and the divergence check run on the
+// same cycle counter, so a non-finite position is always caught here and can
+// never be handed to the cell grid (where a NaN coordinate would index out
+// of range).
+func (s *Sim) maybeRebuild() error {
+	s.sinceRebuild++
+	reason := ""
+	switch {
+	case s.sinceRebuild >= s.cfg.NeighborEvery:
+		reason = rebuildCeiling
+	case !s.cfg.FixedCadenceRebuild:
+		half := 0.5 * s.cfg.Skin
+		if s.maxDisplacement2() > half*half {
+			reason = rebuildDisplacement
+		}
+	}
+	if reason == "" {
+		return nil
+	}
+	for i := range s.pos {
+		if !s.pos[i].IsFinite() || !s.vel[i].IsFinite() {
+			return fmt.Errorf("md: simulation diverged at step %d (atom %d)", s.step, i)
+		}
+	}
+	s.rebuildNow(reason)
+	return nil
+}
+
+// maxDisplacement2 returns the squared maximum minimum-image displacement of
+// any atom since the last neighbour rebuild.
+func (s *Sim) maxDisplacement2() float64 {
+	maxd := 0.0
+	for i, p := range s.pos {
+		if d := s.box.MinImage(p, s.nbrRef[i]).Norm2(); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// rebuildNow unconditionally regenerates the neighbour list from current
+// positions and resets the displacement reference.
+func (s *Sim) rebuildNow(reason string) {
+	if m := loadMDMetrics(); m != nil {
+		switch reason {
+		case rebuildCeiling:
+			m.rebuildCeiling.Inc()
+		case rebuildDisplacement:
+			m.rebuildDisplacement.Inc()
+		default:
+			m.rebuildInitial.Inc()
+		}
+		if reason != rebuildInitial {
+			m.rebuildInterval.Observe(float64(s.sinceRebuild))
+		}
+	}
+	s.nbl.rebuildWith(s.pos, s.top, s.cfg.Shards)
+	copy(s.nbrRef, s.pos)
+	s.sinceRebuild = 0
+	s.rebuilds++
+}
+
+// Rebuilds returns the number of neighbour-list rebuilds performed so far,
+// including the initial build.
+func (s *Sim) Rebuilds() int64 { return s.rebuilds }
+
+// tickMetricsWindow recomputes the throughput gauges every metricsWindow
+// steps: effective ns/day from wall time, and pair throughput from the
+// force-loop seconds accumulated by computeForces.
+func (s *Sim) tickMetricsWindow(m *mdMetrics) {
+	s.winSteps++
+	if s.winSteps < metricsWindow {
+		return
+	}
+	now := time.Now()
+	if !s.winWall.IsZero() {
+		if wall := now.Sub(s.winWall).Seconds(); wall > 0 {
+			simNs := (s.time - s.winSimTime) / 1000 // ps → ns
+			m.nsPerDay.Set(simNs / (wall / 86400))
+		}
+		if s.winForceSec > 0 {
+			m.pairRate.Set(float64(s.winPairs) / s.winForceSec)
+		}
+	}
+	s.winWall = now
+	s.winSimTime = s.time
+	s.winSteps = 0
+	s.winPairs = 0
+	s.winForceSec = 0
 }
 
 // berendsenScale applies weak-coupling velocity rescaling.

@@ -376,10 +376,11 @@ func TestNeighborCellVsAllPairs(t *testing.T) {
 	if !s.nbl.periodic() || !s.nbl.gridFits() {
 		t.Skip("system too small for the cell grid; nothing to compare")
 	}
-	cellPairs := pairSet(s.nbl.pairs)
+	cellPairs := pairSet(s.nbl.pairIJ())
 	nl2 := newNeighborList(s.box, s.cfg.Cutoff+s.cfg.Skin)
+	nl2.cacheAtomParams(s.top)
 	nl2.rebuildAllPairs(s.Positions(), s.top)
-	allPairs := pairSet(nl2.pairs)
+	allPairs := pairSet(nl2.pairIJ())
 	if len(cellPairs) != len(allPairs) {
 		t.Fatalf("cell list found %d pairs, all-pairs %d", len(cellPairs), len(allPairs))
 	}

@@ -1,0 +1,82 @@
+package md
+
+import (
+	"sync/atomic"
+
+	"copernicus/internal/obs"
+)
+
+// mdMetrics is the copernicus_md_* instrument set. A nil pointer (the
+// default) means instrumentation is disabled and the hot path pays only one
+// atomic load per step / force call.
+type mdMetrics struct {
+	steps      *obs.Counter
+	pairsTotal *obs.Counter
+
+	rebuildInitial      *obs.Counter
+	rebuildCeiling      *obs.Counter
+	rebuildDisplacement *obs.Counter
+
+	rebuildInterval *obs.Histogram
+	forceSeconds    *obs.Histogram
+
+	nsPerDay *obs.Gauge
+	pairRate *obs.Gauge
+}
+
+var mdMetricsPtr atomic.Pointer[mdMetrics]
+
+func loadMDMetrics() *mdMetrics { return mdMetricsPtr.Load() }
+
+// metricsWindow is the step interval over which the throughput gauges
+// (ns/day, pairs/s) are recomputed.
+const metricsWindow = 128
+
+// EnableMetrics registers the copernicus_md_* kernel metrics on the given
+// observability bundle and turns on engine instrumentation process-wide:
+//
+//	copernicus_md_steps_total               integration steps completed
+//	copernicus_md_pairs_total               pair interactions evaluated
+//	copernicus_md_neighbor_rebuilds_total   rebuilds by reason (initial,
+//	                                        displacement, ceiling)
+//	copernicus_md_rebuild_interval_steps    steps between rebuilds
+//	copernicus_md_force_seconds             force-evaluation wall time
+//	copernicus_md_ns_per_day                effective simulation throughput
+//	copernicus_md_pair_throughput           pair interactions per force-loop
+//	                                        second
+//
+// Gauges reflect the most recently sampled window of whichever simulation
+// wrote last; counters and histograms aggregate across all simulations in
+// the process. Call once at startup (cpcworker and mdrun do); it is safe to
+// call again with a different bundle.
+func EnableMetrics(o *obs.Obs) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	forceBuckets := []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 1,
+	}
+	intervalBuckets := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+	rebuilds := func(reason string) *obs.Counter {
+		return o.Metrics.Counter("copernicus_md_neighbor_rebuilds_total",
+			"Neighbour-list rebuilds by trigger reason.", obs.L("reason", reason))
+	}
+	mdMetricsPtr.Store(&mdMetrics{
+		steps: o.Metrics.Counter("copernicus_md_steps_total",
+			"MD integration steps completed.", nil),
+		pairsTotal: o.Metrics.Counter("copernicus_md_pairs_total",
+			"Non-bonded pair interactions evaluated.", nil),
+		rebuildInitial:      rebuilds("initial"),
+		rebuildCeiling:      rebuilds("ceiling"),
+		rebuildDisplacement: rebuilds("displacement"),
+		rebuildInterval: o.Metrics.Histogram("copernicus_md_rebuild_interval_steps",
+			"Steps between neighbour-list rebuilds.", intervalBuckets, nil),
+		forceSeconds: o.Metrics.Histogram("copernicus_md_force_seconds",
+			"Wall time of one full force evaluation.", forceBuckets, nil),
+		nsPerDay: o.Metrics.Gauge("copernicus_md_ns_per_day",
+			"Effective simulation throughput over the last sampling window.", nil),
+		pairRate: o.Metrics.Gauge("copernicus_md_pair_throughput",
+			"Pair interactions per second of force-loop wall time.", nil),
+	})
+}

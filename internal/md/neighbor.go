@@ -1,27 +1,112 @@
 package md
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"copernicus/internal/topology"
 	"copernicus/internal/vec"
 )
 
-// pair is one unexcluded non-bonded pair within the listing radius.
+// pair is one unexcluded non-bonded pair within the listing radius, used by
+// tests and the set-comparison helpers; the kernel itself consumes pairList.
 type pair struct{ i, j int32 }
 
-// neighborList produces the pair list consumed by the non-bonded kernel.
-// For periodic boxes it uses a linked-cell decomposition with cells at least
-// rlist wide; for aperiodic systems (single molecules in vacuo) it falls
-// back to an O(n²) sweep, which is fine at the system sizes involved.
+// pairList is the packed struct-of-arrays pair list the non-bonded kernel
+// iterates. All interaction parameters are baked in at rebuild time — the
+// combined LJ coefficients and the premultiplied charge product — so the
+// per-pair inner loop touches no topology tables and no Atom structs, only
+// these flat arrays and the position slice. Entries are grouped by ascending
+// ai, which keeps the force writes for one i atom in consecutive iterations.
+type pairList struct {
+	ai, aj []int32
+	c6     []float64
+	c12    []float64
+	qqf    []float64 // CoulombConst · q_i · q_j; 0 means no Coulomb term
+}
+
+// Len returns the number of packed pairs.
+func (pl *pairList) Len() int { return len(pl.ai) }
+
+func (pl *pairList) reset() {
+	pl.ai = pl.ai[:0]
+	pl.aj = pl.aj[:0]
+	pl.c6 = pl.c6[:0]
+	pl.c12 = pl.c12[:0]
+	pl.qqf = pl.qqf[:0]
+}
+
+func (pl *pairList) append(i, j int32, c6, c12, qqf float64) {
+	pl.ai = append(pl.ai, i)
+	pl.aj = append(pl.aj, j)
+	pl.c6 = append(pl.c6, c6)
+	pl.c12 = append(pl.c12, c12)
+	pl.qqf = append(pl.qqf, qqf)
+}
+
+// resize grows the arrays to exactly n entries, reusing capacity.
+func (pl *pairList) resize(n int) {
+	grow := func(s []float64) []float64 {
+		if cap(s) < n {
+			return make([]float64, n)
+		}
+		return s[:n]
+	}
+	if cap(pl.ai) < n {
+		pl.ai = make([]int32, n)
+		pl.aj = make([]int32, n)
+	} else {
+		pl.ai = pl.ai[:n]
+		pl.aj = pl.aj[:n]
+	}
+	pl.c6 = grow(pl.c6)
+	pl.c12 = grow(pl.c12)
+	pl.qqf = grow(pl.qqf)
+}
+
+// halfShellStencil is the 13 forward neighbour cell offsets of the half-shell
+// traversal, fixed for every rebuild (hoisted so rebuilds allocate nothing).
+var halfShellStencil = func() [][3]int {
+	var st [][3]int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx > 0 || (dx == 0 && dy > 0) || (dx == 0 && dy == 0 && dz > 0) {
+					st = append(st, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return st
+}()
+
+// neighborList produces the packed pair list consumed by the non-bonded
+// kernel. For periodic boxes it uses a linked-cell decomposition with cells
+// at least rlist wide, with pair generation parallelised over x-slabs of the
+// grid; for aperiodic systems (single molecules in vacuo) it falls back to an
+// O(n²) sweep, which is fine at the system sizes involved.
+//
+// The generated list is deterministic and independent of the worker count:
+// each x-slab fills its own buffer in the same traversal order a serial sweep
+// would use, and the buffers are merged in slab order before the final
+// group-by-i counting sort.
 type neighborList struct {
 	box   vec.Box
-	rlist float64 // cutoff + skin
-	pairs []pair
+	rlist float64  // cutoff + skin
+	plist pairList // packed output consumed by the kernel
+
+	// per-atom parameter caches, filled once from the topology
+	typ []int32
+	chg []float64
+	qed bool // true if any atom carries charge
 
 	// cell grid scratch, reused across rebuilds
 	nc      [3]int
 	heads   []int32
 	next    []int32
 	cellDim vec.V3
+	slabs   []pairList // per-x-slab pair buffers
+	counts  []int32    // counting-sort scratch, len natoms
 }
 
 func newNeighborList(box vec.Box, rlist float64) *neighborList {
@@ -34,11 +119,35 @@ func (nl *neighborList) periodic() bool {
 	return nl.box.L.X > 0 && nl.box.L.Y > 0 && nl.box.L.Z > 0
 }
 
-// rebuild regenerates the pair list from current positions.
+// cacheAtomParams snapshots per-atom LJ type and charge into flat arrays so
+// pair packing reads int32/float64 slices instead of Atom structs.
+func (nl *neighborList) cacheAtomParams(top *topology.Topology) {
+	if len(nl.typ) == len(top.Atoms) {
+		return
+	}
+	nl.typ = make([]int32, len(top.Atoms))
+	nl.chg = make([]float64, len(top.Atoms))
+	for i, a := range top.Atoms {
+		nl.typ[i] = int32(a.Type)
+		nl.chg[i] = a.Charge
+		if a.Charge != 0 {
+			nl.qed = true
+		}
+	}
+}
+
+// rebuild regenerates the pair list serially from current positions.
 func (nl *neighborList) rebuild(pos []vec.V3, top *topology.Topology) {
-	nl.pairs = nl.pairs[:0]
+	nl.rebuildWith(pos, top, 1)
+}
+
+// rebuildWith regenerates the pair list, parallelising cell-grid pair
+// generation across up to `workers` goroutines. The result is identical for
+// every worker count.
+func (nl *neighborList) rebuildWith(pos []vec.V3, top *topology.Topology, workers int) {
+	nl.cacheAtomParams(top)
 	if nl.periodic() && nl.gridFits() {
-		nl.rebuildCells(pos, top)
+		nl.rebuildCells(pos, top, workers)
 	} else {
 		nl.rebuildAllPairs(pos, top)
 	}
@@ -55,7 +164,24 @@ func (nl *neighborList) gridFits() bool {
 	return true
 }
 
+// packInto appends pair (i, j) with baked interaction parameters, normalising
+// to i < j. Exclusions have already been filtered by the caller.
+func (nl *neighborList) packInto(buf *pairList, top *topology.Topology, i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	c6, c12 := top.LJPair(int(nl.typ[i]), int(nl.typ[j]))
+	var qqf float64
+	if nl.qed {
+		qqf = topology.CoulombConst * nl.chg[i] * nl.chg[j]
+	}
+	buf.append(int32(i), int32(j), c6, c12, qqf)
+}
+
+// rebuildAllPairs is the O(n²) aperiodic fallback; its output is naturally
+// grouped by i.
 func (nl *neighborList) rebuildAllPairs(pos []vec.V3, top *topology.Topology) {
+	nl.plist.reset()
 	r2 := nl.rlist * nl.rlist
 	n := len(pos)
 	for i := 0; i < n; i++ {
@@ -64,13 +190,13 @@ func (nl *neighborList) rebuildAllPairs(pos []vec.V3, top *topology.Topology) {
 				continue
 			}
 			if nl.box.MinImage(pos[i], pos[j]).Norm2() <= r2 {
-				nl.pairs = append(nl.pairs, pair{int32(i), int32(j)})
+				nl.packInto(&nl.plist, top, i, j)
 			}
 		}
 	}
 }
 
-func (nl *neighborList) rebuildCells(pos []vec.V3, top *topology.Topology) {
+func (nl *neighborList) rebuildCells(pos []vec.V3, top *topology.Topology, workers int) {
 	l := nl.box.L
 	nl.nc[0] = int(l.X / nl.rlist)
 	nl.nc[1] = int(l.Y / nl.rlist)
@@ -90,62 +216,95 @@ func (nl *neighborList) rebuildCells(pos []vec.V3, top *topology.Topology) {
 	}
 	nl.next = nl.next[:len(pos)]
 
-	cellOf := func(p vec.V3) int {
-		w := nl.box.Wrap(p)
-		cx := int(w.X / nl.cellDim.X)
-		cy := int(w.Y / nl.cellDim.Y)
-		cz := int(w.Z / nl.cellDim.Z)
-		// Guard the upper edge against rounding.
-		if cx >= nl.nc[0] {
-			cx = nl.nc[0] - 1
-		}
-		if cy >= nl.nc[1] {
-			cy = nl.nc[1] - 1
-		}
-		if cz >= nl.nc[2] {
-			cz = nl.nc[2] - 1
-		}
-		return (cx*nl.nc[1]+cy)*nl.nc[2] + cz
-	}
 	for i, p := range pos {
-		c := cellOf(p)
+		c := nl.cellOf(p)
 		nl.next[i] = nl.heads[c]
 		nl.heads[c] = int32(i)
 	}
 
+	// Per-x-slab pair generation. Each slab owns the cells with its cx and
+	// appends into its private buffer; merging in cx order reproduces the
+	// serial traversal order exactly, whatever the worker count.
+	nslabs := nl.nc[0]
+	if len(nl.slabs) < nslabs {
+		nl.slabs = append(nl.slabs, make([]pairList, nslabs-len(nl.slabs))...)
+	}
+	if workers > nslabs {
+		workers = nslabs
+	}
+	if workers <= 1 {
+		for cx := 0; cx < nslabs; cx++ {
+			nl.fillSlab(cx, pos, top)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					cx := int(cursor.Add(1)) - 1
+					if cx >= nslabs {
+						return
+					}
+					nl.fillSlab(cx, pos, top)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	nl.mergeSlabs(nslabs, len(pos))
+}
+
+// cellOf maps a position to its grid cell, clamping against rounding at both
+// edges so no finite coordinate can index out of range.
+func (nl *neighborList) cellOf(p vec.V3) int {
+	w := nl.box.Wrap(p)
+	cx := int(w.X / nl.cellDim.X)
+	cy := int(w.Y / nl.cellDim.Y)
+	cz := int(w.Z / nl.cellDim.Z)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= nl.nc[0] {
+		cx = nl.nc[0] - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= nl.nc[1] {
+		cy = nl.nc[1] - 1
+	}
+	if cz < 0 {
+		cz = 0
+	} else if cz >= nl.nc[2] {
+		cz = nl.nc[2] - 1
+	}
+	return (cx*nl.nc[1]+cy)*nl.nc[2] + cz
+}
+
+// fillSlab generates the pairs whose home cell has x-index cx.
+func (nl *neighborList) fillSlab(cx int, pos []vec.V3, top *topology.Topology) {
+	buf := &nl.slabs[cx]
+	buf.reset()
 	r2 := nl.rlist * nl.rlist
-	// Half-shell stencil: the 13 forward neighbour cells plus self.
-	var stencil [][3]int
-	for dx := -1; dx <= 1; dx++ {
-		for dy := -1; dy <= 1; dy++ {
-			for dz := -1; dz <= 1; dz++ {
-				if dx > 0 || (dx == 0 && dy > 0) || (dx == 0 && dy == 0 && dz > 0) {
-					stencil = append(stencil, [3]int{dx, dy, dz})
+	for cy := 0; cy < nl.nc[1]; cy++ {
+		for cz := 0; cz < nl.nc[2]; cz++ {
+			c := (cx*nl.nc[1]+cy)*nl.nc[2] + cz
+			// Pairs within the cell.
+			for i := nl.heads[c]; i >= 0; i = nl.next[i] {
+				for j := nl.next[i]; j >= 0; j = nl.next[j] {
+					nl.tryPair(buf, pos, top, int(i), int(j), r2)
 				}
 			}
-		}
-	}
-
-	for cx := 0; cx < nl.nc[0]; cx++ {
-		for cy := 0; cy < nl.nc[1]; cy++ {
-			for cz := 0; cz < nl.nc[2]; cz++ {
-				c := (cx*nl.nc[1]+cy)*nl.nc[2] + cz
-				// Pairs within the cell.
+			// Pairs with the half shell.
+			for _, d := range halfShellStencil {
+				ox := (cx + d[0] + nl.nc[0]) % nl.nc[0]
+				oy := (cy + d[1] + nl.nc[1]) % nl.nc[1]
+				oz := (cz + d[2] + nl.nc[2]) % nl.nc[2]
+				o := (ox*nl.nc[1]+oy)*nl.nc[2] + oz
 				for i := nl.heads[c]; i >= 0; i = nl.next[i] {
-					for j := nl.next[i]; j >= 0; j = nl.next[j] {
-						nl.tryPair(pos, top, int(i), int(j), r2)
-					}
-				}
-				// Pairs with the half shell.
-				for _, d := range stencil {
-					ox := (cx + d[0] + nl.nc[0]) % nl.nc[0]
-					oy := (cy + d[1] + nl.nc[1]) % nl.nc[1]
-					oz := (cz + d[2] + nl.nc[2]) % nl.nc[2]
-					o := (ox*nl.nc[1]+oy)*nl.nc[2] + oz
-					for i := nl.heads[c]; i >= 0; i = nl.next[i] {
-						for j := nl.heads[o]; j >= 0; j = nl.next[j] {
-							nl.tryPair(pos, top, int(i), int(j), r2)
-						}
+					for j := nl.heads[o]; j >= 0; j = nl.next[j] {
+						nl.tryPair(buf, pos, top, int(i), int(j), r2)
 					}
 				}
 			}
@@ -153,15 +312,66 @@ func (nl *neighborList) rebuildCells(pos []vec.V3, top *topology.Topology) {
 	}
 }
 
-func (nl *neighborList) tryPair(pos []vec.V3, top *topology.Topology, i, j int, r2 float64) {
+func (nl *neighborList) tryPair(buf *pairList, pos []vec.V3, top *topology.Topology, i, j int, r2 float64) {
 	if top.Excluded(i, j) {
 		return
 	}
 	if nl.box.MinImage(pos[i], pos[j]).Norm2() <= r2 {
-		if i < j {
-			nl.pairs = append(nl.pairs, pair{int32(i), int32(j)})
-		} else {
-			nl.pairs = append(nl.pairs, pair{int32(j), int32(i)})
+		nl.packInto(buf, top, i, j)
+	}
+}
+
+// mergeSlabs concatenates the slab buffers and counting-sorts the result by
+// ai, so the kernel walks each i atom's pairs consecutively. The sort is
+// stable over the slab-order concatenation, keeping the final list fully
+// deterministic.
+func (nl *neighborList) mergeSlabs(nslabs, natoms int) {
+	total := 0
+	for s := 0; s < nslabs; s++ {
+		total += nl.slabs[s].Len()
+	}
+	if cap(nl.counts) < natoms {
+		nl.counts = make([]int32, natoms)
+	}
+	counts := nl.counts[:natoms]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for s := 0; s < nslabs; s++ {
+		for _, i := range nl.slabs[s].ai {
+			counts[i]++
 		}
 	}
+	// Prefix sum: counts[i] becomes the write offset of atom i's first pair.
+	var off int32
+	for i := range counts {
+		c := counts[i]
+		counts[i] = off
+		off += c
+	}
+	nl.plist.resize(total)
+	dst := &nl.plist
+	for s := 0; s < nslabs; s++ {
+		src := &nl.slabs[s]
+		for k := range src.ai {
+			i := src.ai[k]
+			p := counts[i]
+			counts[i]++
+			dst.ai[p] = i
+			dst.aj[p] = src.aj[k]
+			dst.c6[p] = src.c6[k]
+			dst.c12[p] = src.c12[k]
+			dst.qqf[p] = src.qqf[k]
+		}
+	}
+}
+
+// pairIJ returns the plain (i, j) pair view of the packed list, for tests and
+// set comparisons.
+func (nl *neighborList) pairIJ() []pair {
+	out := make([]pair, nl.plist.Len())
+	for k := range out {
+		out[k] = pair{nl.plist.ai[k], nl.plist.aj[k]}
+	}
+	return out
 }

@@ -1,0 +1,181 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"copernicus/internal/rng"
+	"copernicus/internal/topology"
+	"copernicus/internal/vec"
+)
+
+// pairKey is a canonical (i<j) pair identity for set comparison.
+type pairKey struct{ i, j int32 }
+
+func pairSetOf(ps []pair) map[pairKey]bool {
+	set := make(map[pairKey]bool, len(ps))
+	for _, p := range ps {
+		i, j := p.i, p.j
+		if i > j {
+			i, j = j, i
+		}
+		set[pairKey{i, j}] = true
+	}
+	return set
+}
+
+// TestPairListPropertyRandomBoxes checks, across randomly drawn periodic
+// systems and listing radii, that the parallel cell-grid rebuild produces
+// exactly the O(n²) reference pair set for every worker count, that the packed
+// list is grouped by ascending i, and that the baked parameters match the
+// topology tables.
+func TestPairListPropertyRandomBoxes(t *testing.T) {
+	r := rng.New(42)
+	for iter := 0; iter < 12; iter++ {
+		var sys *topology.System
+		var err error
+		if iter%4 == 3 {
+			// Water boxes cover exclusions and charges.
+			sys, err = topology.WaterBox(27+r.Intn(64), r.Uint64())
+		} else {
+			sys, err = topology.LJFluid(64+r.Intn(200), 5+5*r.Float64(), r.Uint64())
+		}
+		if err != nil {
+			t.Fatalf("iter %d: building system: %v", iter, err)
+		}
+		// Shake atoms off the builder's regular arrangement.
+		for i := range sys.Pos {
+			d := vec.New(r.Norm(), r.Norm(), r.Norm()).Scale(0.05)
+			sys.Pos[i] = sys.Box.Wrap(sys.Pos[i].Add(d))
+		}
+		// Draw a listing radius, clamped so the cell grid fits (≥3 cells per
+		// axis) — otherwise both paths would take the same O(n²) fallback and
+		// the comparison would be vacuous.
+		rlist := 0.55 + 0.5*r.Float64()
+		if max := sys.Box.L.X / 3; rlist > max {
+			rlist = max
+		}
+
+		ref := newNeighborList(sys.Box, rlist)
+		ref.cacheAtomParams(sys.Top)
+		ref.rebuildAllPairs(sys.Pos, sys.Top)
+		want := pairSetOf(ref.pairIJ())
+
+		for _, workers := range []int{1, 2, 5} {
+			nl := newNeighborList(sys.Box, rlist)
+			nl.rebuildWith(sys.Pos, sys.Top, workers)
+			got := pairSetOf(nl.pairIJ())
+			if len(got) != nl.plist.Len() {
+				t.Fatalf("iter %d workers %d: duplicate pairs in packed list", iter, workers)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iter %d workers %d: %d pairs from cell grid, %d from O(n²)",
+					iter, workers, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("iter %d workers %d: cell grid missing pair (%d,%d)", iter, workers, p.i, p.j)
+				}
+			}
+			pl := &nl.plist
+			for k := 0; k < pl.Len(); k++ {
+				if k > 0 && pl.ai[k] < pl.ai[k-1] {
+					t.Fatalf("iter %d workers %d: packed list not grouped by i at entry %d", iter, workers, k)
+				}
+				i, j := int(pl.ai[k]), int(pl.aj[k])
+				c6, c12 := sys.Top.LJPair(sys.Top.Atoms[i].Type, sys.Top.Atoms[j].Type)
+				qqf := topology.CoulombConst * sys.Top.Atoms[i].Charge * sys.Top.Atoms[j].Charge
+				if pl.c6[k] != c6 || pl.c12[k] != c12 || pl.qqf[k] != qqf {
+					t.Fatalf("iter %d workers %d: baked params for pair (%d,%d) = (%g,%g,%g), want (%g,%g,%g)",
+						iter, workers, i, j, pl.c6[k], pl.c12[k], pl.qqf[k], c6, c12, qqf)
+				}
+			}
+		}
+	}
+}
+
+// TestNVEDriftRebuildPolicies is the energy-conservation regression for the
+// displacement-triggered rebuild policy: over 10k NVE steps the drift with
+// displacement-triggered rebuilds (a high ceiling, so the skin criterion is
+// the active trigger) must stay within 2× of the fixed-cadence baseline —
+// while performing far fewer rebuilds.
+func TestNVEDriftRebuildPolicies(t *testing.T) {
+	run := func(mut func(*Config)) (drift float64, rebuilds int64) {
+		t.Helper()
+		sys := smallFluid(t, 64)
+		cfg := nveConfig()
+		cfg.Dt = 0.001
+		mut(&cfg)
+		s, err := New(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Step(200); err != nil {
+			t.Fatal(err)
+		}
+		e0 := s.Energies().Total()
+		if err := s.Step(10000); err != nil {
+			t.Fatal(err)
+		}
+		e1 := s.Energies().Total()
+		return math.Abs(e1-e0) / math.Abs(e0), s.Rebuilds()
+	}
+
+	driftFixed, rebuildsFixed := run(func(c *Config) {
+		c.FixedCadenceRebuild = true
+		c.NeighborEvery = 10
+	})
+	driftDisp, rebuildsDisp := run(func(c *Config) {
+		c.NeighborEvery = 200 // ceiling only; displacement is the live trigger
+	})
+
+	t.Logf("fixed cadence: drift %.3g%% over %d rebuilds; displacement: drift %.3g%% over %d rebuilds",
+		driftFixed*100, rebuildsFixed, driftDisp*100, rebuildsDisp)
+	if driftDisp > 2*driftFixed+1e-3 {
+		t.Errorf("displacement-policy drift %.3g exceeds 2× fixed-cadence drift %.3g", driftDisp, driftFixed)
+	}
+	if rebuildsDisp >= rebuildsFixed/2 {
+		t.Errorf("displacement policy rebuilt %d times vs %d fixed-cadence — trigger not saving rebuilds",
+			rebuildsDisp, rebuildsFixed)
+	}
+}
+
+// TestShardedForcesMatchSerialWaterBox extends the serial/sharded equivalence
+// check to a system with every interaction type live — LJ, Coulomb, bonds and
+// angles — so the bonded shard partition and the parallel reduction are both
+// exercised above the parallelMinWork threshold.
+func TestShardedForcesMatchSerialWaterBox(t *testing.T) {
+	build := func(shards int) *Sim {
+		t.Helper()
+		sys, err := topology.WaterBox(300, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		s, err := New(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	serial := build(1)
+	sharded := build(4)
+	fs, fp := serial.Forces(), sharded.Forces()
+	for i := range fs {
+		if fs[i].Sub(fp[i]).Norm() > 1e-9 {
+			t.Fatalf("atom %d force mismatch: serial %v sharded %v", i, fs[i], fp[i])
+		}
+	}
+	es, ep := serial.Energies(), sharded.Energies()
+	for _, pair := range [][2]float64{
+		{es.LJ, ep.LJ}, {es.Coulomb, ep.Coulomb},
+		{es.Bond, ep.Bond}, {es.Angle, ep.Angle}, {es.Dihedral, ep.Dihedral},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9*(1+math.Abs(pair[0])) {
+			t.Fatalf("energy term mismatch: serial %v sharded %v", es, ep)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench.sh — runs the MD kernel micro-benchmarks plus the Fig-level
+# throughput benches and records the numbers in BENCH_md.json.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime   go -benchtime value for the micro-benches (default 2s;
+#               pass e.g. 1x for a smoke run)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_md.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== kernel micro-benches (internal/md, -benchtime $BENCHTIME) =="
+go test -run=NONE -bench='BenchmarkNonbondedKernel|BenchmarkNeighborRebuild|BenchmarkStepVillinBox' \
+    -benchtime "$BENCHTIME" ./internal/md | tee "$TMP"
+
+echo "== Fig-level benches (repo root, -benchtime 1x) =="
+go test -run=NONE -bench='BenchmarkMDEngineThroughput|BenchmarkT2_SingleSimScaling' \
+    -benchtime 1x . | tee -a "$TMP"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v nproc="$(nproc 2>/dev/null || echo 1)" '
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns[name] = $i
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"nproc\": %d,\n", nproc
+    printf "  \"ns_per_op\": {\n"
+    n = 0
+    for (k in ns) order[n++] = k
+    for (i = 0; i < n; i++) {
+        k = order[i]
+        printf "    \"%s\": %s%s\n", k, ns[k], (i < n-1 ? "," : "")
+    }
+    printf "  }"
+    if (("StepVillinBox/serial" in ns) && ("StepVillinBox/shards4" in ns) && ns["StepVillinBox/shards4"] > 0)
+        printf ",\n  \"villin_speedup_4shards\": %.3f", ns["StepVillinBox/serial"] / ns["StepVillinBox/shards4"]
+    if (("NeighborRebuild/workers1" in ns) && ("NeighborRebuild/workers4" in ns) && ns["NeighborRebuild/workers4"] > 0)
+        printf ",\n  \"rebuild_speedup_4workers\": %.3f", ns["NeighborRebuild/workers1"] / ns["NeighborRebuild/workers4"]
+    printf "\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "bench: wrote $OUT"
+cat "$OUT"

@@ -19,10 +19,14 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
-echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store) =="
+echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store, md) =="
 go test -race ./internal/obs/... ./internal/server/... \
     ./internal/worker/... ./internal/queue/... ./internal/overlay/... \
-    ./internal/retry/... ./internal/chaos/... ./internal/store/...
+    ./internal/retry/... ./internal/chaos/... ./internal/store/... \
+    ./internal/md/...
+
+echo "== md bench smoke =="
+go test -run=NONE -bench=. -benchtime=1x ./internal/md
 
 echo "== chaos soak (race) =="
 go test -race -run TestChaosSoak -timeout 300s ./internal/core/

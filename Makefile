@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race chaos crash ci bench fmt
+.PHONY: all build vet test race chaos crash failover ci bench fmt
 
 all: build
 
@@ -14,11 +14,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-enabled tests for the concurrency-heavy packages.
+# Race-enabled tests for the concurrency-heavy packages
+# (./internal/store/... includes internal/store/replica).
 race:
 	$(GO) test -race ./internal/obs/... ./internal/server/... \
 		./internal/worker/... ./internal/queue/... ./internal/overlay/... \
-		./internal/store/...
+		./internal/store/... ./internal/store/replica/...
 
 # Chaos soak: the MSM pipeline completing under seeded fault injection
 # (25% dropped writes, partial frames, a forced full partition) — see
@@ -31,6 +32,13 @@ chaos:
 # docs/PERSISTENCE.md.
 crash:
 	$(GO) test -race -run TestFabricCrashRestart -v -timeout 600s ./internal/core/
+
+# Heartbeat-lease failover: the project server hard-killed (and fully
+# partitioned) mid-ensemble, its warm standby promoting and finishing the
+# campaign, the fenced ex-primary rejoining as standby — see
+# docs/PERSISTENCE.md ("Replication & failover").
+failover:
+	$(GO) test -race -run TestFailover -v -timeout 600s ./internal/core/
 
 ci:
 	sh scripts/ci.sh

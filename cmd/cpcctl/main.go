@@ -93,6 +93,16 @@ func stateCmd(args []string) {
 		log.Fatalf("cpcctl state inspect: %v", err)
 	}
 	fmt.Println(string(out))
+	// The JSON above is the machine surface; repeat the operator-critical
+	// replication facts on stderr so they are not lost in a pipe.
+	fmt.Fprintf(os.Stderr, "cpcctl: last journaled seq %d\n", insp.LastSeq)
+	if insp.Replica != nil {
+		fmt.Fprintf(os.Stderr, "cpcctl: replica role=%s epoch=%d peer=%s\n",
+			insp.Replica.Role, insp.Replica.Epoch, insp.Replica.PeerID)
+	}
+	if insp.Gap != "" {
+		fmt.Fprintf(os.Stderr, "cpcctl: WARNING: replay gap: %s\n", insp.Gap)
+	}
 	if !insp.Healthy {
 		os.Exit(1)
 	}

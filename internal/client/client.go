@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"copernicus/internal/overlay"
@@ -34,6 +35,9 @@ type Config struct {
 type Client struct {
 	node *overlay.Node
 	cfg  Config
+
+	mu     sync.Mutex
+	server string // current submission target; follows failover promotions
 }
 
 // New binds a client to an overlay node that is (or will be) connected to
@@ -49,11 +53,35 @@ func New(node *overlay.Node, cfg Config) *Client {
 		cfg.Retry.Obs = node.Obs
 	}
 	cfg.Retry.Scope = node.ID()
-	return &Client{node: node, cfg: cfg}
+	c := &Client{node: node, cfg: cfg, server: cfg.Server}
+	// Status and Wait already find a promoted standby through anycast; the
+	// promotion announcement additionally retargets submissions, so a client
+	// peered with the new primary keeps working without operator action.
+	node.Handle(wire.MsgPromoted, func(from string, payload []byte) ([]byte, error) {
+		var ann wire.Promoted
+		if err := wire.Unmarshal(payload, &ann); err != nil {
+			return nil, err
+		}
+		if ann.NodeID != "" {
+			c.mu.Lock()
+			c.server = ann.NodeID
+			c.mu.Unlock()
+		}
+		return []byte{}, nil
+	})
+	return c
 }
 
 // Node returns the client's overlay node.
 func (c *Client) Node() *overlay.Node { return c.node }
+
+// Server returns the node ID submissions are currently addressed to. It
+// starts as Config.Server and follows failover promotion announcements.
+func (c *Client) Server() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server
+}
 
 // Submit creates a project. Submission is not naturally idempotent (a
 // project name can only be created once), so when a retried attempt learns
@@ -71,7 +99,7 @@ func (c *Client) Submit(ctx context.Context, name, controllerName string, params
 	attempt := 0
 	return c.cfg.Retry.Do(ctx, "submit", func(ctx context.Context) error {
 		attempt++
-		_, err := c.node.Request(ctx, c.cfg.Server, wire.MsgSubmit, payload)
+		_, err := c.node.Request(ctx, c.Server(), wire.MsgSubmit, payload)
 		var remote *overlay.RemoteError
 		if errors.As(err, &remote) {
 			if attempt > 1 && strings.Contains(remote.Msg, "already exists") {

@@ -24,6 +24,7 @@ import (
 	"copernicus/internal/retry"
 	"copernicus/internal/server"
 	"copernicus/internal/store"
+	"copernicus/internal/store/replica"
 	"copernicus/internal/wire"
 	"copernicus/internal/worker"
 )
@@ -79,6 +80,24 @@ type FabricConfig struct {
 	SnapshotEvery  int
 	StoreNoSync    bool
 	StoreWriteHook func(frame []byte) ([]byte, error)
+	// Standbys maps a primary server index to a standby server index. The
+	// standby runs as a storeless relay while mirroring the primary's WAL
+	// into StateDir/replica-<standby> through a replica.Peer; when its lease
+	// on the primary lapses it promotes itself, replays the copy through the
+	// normal recovery path, and takes the projects over. Requires StateDir.
+	Standbys map[int]int
+	// ReplInterval is the replication ship/heartbeat cadence (default 50 ms
+	// in fabric deployments — scaled down, like Heartbeat, so failover tests
+	// run in milliseconds). LeaseTimeout defaults to 5×ReplInterval.
+	ReplInterval time.Duration
+	LeaseTimeout time.Duration
+	// ServerChaos, when non-nil, wraps every server node's transport in its
+	// own fault-injection layer (seeded ServerChaos.Seed+index, reachable as
+	// Fabric.ServerChaos) so tests can drop or partition server↔server
+	// links — most importantly the replication link. A pointer rather than a
+	// value: a zero Config is a valid choice here (no probabilistic faults,
+	// pure Partition/Heal control).
+	ServerChaos *chaos.Config
 	// Obs is the observability bundle shared by every component in the
 	// fabric — one metrics registry, one span tracer, one logger — so a
 	// command's whole lifecycle (submit → queue → dispatch → run → result →
@@ -102,6 +121,9 @@ func (c *FabricConfig) fill() {
 	}
 	if c.Poll <= 0 {
 		c.Poll = 20 * time.Millisecond
+	}
+	if c.ReplInterval <= 0 {
+		c.ReplInterval = 50 * time.Millisecond
 	}
 	if c.Engines == nil {
 		c.Engines = engines.Default()
@@ -128,6 +150,24 @@ type Fabric struct {
 	// with Workers) when FabricConfig.Chaos is enabled; empty otherwise.
 	// Tests drive partitions through these.
 	Chaos []*chaos.Transport
+	// ServerChaos holds each server node's fault-injection transport
+	// (index-aligned with Servers) when FabricConfig.ServerChaos is set;
+	// empty otherwise. Partitioning the standby's entry against the
+	// primary's address severs the replication link.
+	ServerChaos []*chaos.Transport
+	// ClientChaos wraps the client node's transport (pure Partition/Heal
+	// control, no probabilistic faults) when FabricConfig.ServerChaos is
+	// set. Partition tests need it: the client peers with both the primary
+	// and the standby, and the overlay forwards envelopes multi-hop, so a
+	// cut of only the server↔server link would be healed by the client
+	// relaying replication traffic around it — which is exactly the lease
+	// protocol behaving well, not a partition.
+	ClientChaos *chaos.Transport
+	// Peers holds each server's replication peer, index-aligned with
+	// Servers; nil where the server has no replication role. Promote/demote
+	// hooks swap Servers[i] and Stores[i] at runtime, so concurrent readers
+	// must go through Fabric.Server/Store/Peer.
+	Peers []*replica.Peer
 	// Obs is the bundle shared by every node, server and worker; serve
 	// Obs.Handler() (or any server's MonitorHandler) to expose /metrics and
 	// /debug/trace for the whole fabric.
@@ -136,6 +176,8 @@ type Fabric struct {
 	cfg         FabricConfig
 	tr          overlay.Transport
 	serverSeeds []uint64 // identity seeds, so restarts keep node IDs
+	serverIDs   []string // node IDs, index-aligned with Servers
+	smu         sync.Mutex
 	nodes       []*overlay.Node
 	clientNode  *overlay.Node
 	cl          *client.Client
@@ -144,13 +186,19 @@ type Fabric struct {
 }
 
 // openStore opens (or re-opens) server i's durable store; nil when the
-// fabric runs without a state directory.
+// fabric runs without a state directory or i is a replication standby
+// (standbys run storeless until promoted; their replica.Peer owns the warm
+// copy).
 func (f *Fabric) openStore(i int) (*store.Store, error) {
-	if f.cfg.StateDir == "" {
+	if f.cfg.StateDir == "" || f.isStandbyIdx(i) {
 		return nil, nil
 	}
+	return f.openStoreDir(filepath.Join(f.cfg.StateDir, fmt.Sprintf("server-%d", i)))
+}
+
+func (f *Fabric) openStoreDir(dir string) (*store.Store, error) {
 	return store.Open(store.Options{
-		Dir:           filepath.Join(f.cfg.StateDir, fmt.Sprintf("server-%d", i)),
+		Dir:           dir,
 		FsyncInterval: f.cfg.FsyncInterval,
 		SnapshotEvery: f.cfg.SnapshotEvery,
 		NoSync:        f.cfg.StoreNoSync,
@@ -164,6 +212,9 @@ func (f *Fabric) openStore(i int) (*store.Store, error) {
 // node connected to the project server.
 func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	cfg.fill()
+	if err := cfg.validateStandbys(); err != nil {
+		return nil, err
+	}
 	f := &Fabric{Net: overlay.NewMemNetwork(), Obs: cfg.Obs, cfg: cfg}
 	f.Net.Latency = cfg.Latency
 	tr := f.Net.Transport()
@@ -184,8 +235,17 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	// first), which CrashServer relies on.
 	serverAddrs := make([]string, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		node := newNode(tr)
+		serverTr := tr
+		if cfg.ServerChaos != nil {
+			sc := *cfg.ServerChaos
+			sc.Seed = cfg.ServerChaos.Seed + uint64(i)
+			ct := chaos.New(tr, sc, cfg.Obs)
+			f.ServerChaos = append(f.ServerChaos, ct)
+			serverTr = ct
+		}
+		node := newNode(serverTr)
 		f.serverSeeds = append(f.serverSeeds, seed)
+		f.serverIDs = append(f.serverIDs, node.ID())
 		addr := fmt.Sprintf("server-%d", i)
 		serverAddrs[i] = addr
 		if err := node.Listen(addr); err != nil {
@@ -212,6 +272,14 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			Obs:               cfg.Obs,
 		})
 		f.Servers = append(f.Servers, srv)
+		f.Peers = append(f.Peers, nil)
+	}
+
+	// Replication peers need every server node built first (each side
+	// addresses the other by node ID).
+	if err := f.setupReplication(); err != nil {
+		f.Close()
+		return nil, err
 	}
 
 	// Workers, attached round-robin across servers. Each worker gets its own
@@ -272,17 +340,57 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		}()
 	}
 
-	// Client node for submissions and monitoring.
-	f.clientNode = newNode(tr)
+	// Client node for submissions and monitoring. With replication enabled
+	// it also peers with every standby, so a promotion announcement reaches
+	// it directly and anycast status queries survive the primary's death.
+	clientTr := tr
+	if cfg.ServerChaos != nil {
+		f.ClientChaos = chaos.New(tr, chaos.Config{}, cfg.Obs)
+		clientTr = f.ClientChaos
+	}
+	f.clientNode = newNode(clientTr)
 	if _, err := f.clientNode.ConnectPeer("server-0"); err != nil {
 		f.Close()
 		return nil, err
+	}
+	for _, s := range cfg.Standbys {
+		if _, err := f.clientNode.ConnectPeer(fmt.Sprintf("server-%d", s)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	f.cl = client.New(f.clientNode, client.Config{
 		Server: f.Servers[0].Node().ID(),
 		Poll:   cfg.Poll,
 	})
 	return f, nil
+}
+
+// Server returns server i's current serving instance under the fabric lock.
+// During a failover the instance at an index changes (a promoted standby
+// swaps its relay for a project server; a fenced primary swaps back), so
+// tests racing a failover must read through these accessors rather than
+// indexing the exported slices.
+func (f *Fabric) Server(i int) *server.Server {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.Servers[i]
+}
+
+// Store returns server i's current durable store (nil for storeless relays
+// and standbys) under the fabric lock.
+func (f *Fabric) Store(i int) *store.Store {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.Stores[i]
+}
+
+// Peer returns server i's replication peer (nil when i has no replication
+// role) under the fabric lock.
+func (f *Fabric) Peer(i int) *replica.Peer {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.Peers[i]
 }
 
 // ProjectServer returns the server holding submitted projects.
@@ -322,6 +430,18 @@ func (f *Fabric) Wait(ctx context.Context, name string) (wire.ProjectStatus, err
 // that image. Requires FabricConfig.StateDir (otherwise the crashed
 // server's projects are simply gone, which is the pre-store behaviour).
 func (f *Fabric) CrashServer(i int) {
+	// The replication peer closes outside the fabric lock: its run loop may
+	// be inside a promote/demote hook that needs smu, and Close waits for
+	// that loop to finish.
+	f.smu.Lock()
+	p := f.Peers[i]
+	f.Peers[i] = nil
+	f.smu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+	f.smu.Lock()
+	defer f.smu.Unlock()
 	f.Servers[i].Close()
 	f.nodes[i].Close()
 	if f.Stores[i] != nil {
@@ -330,29 +450,24 @@ func (f *Fabric) CrashServer(i int) {
 	}
 }
 
-// RestartServer rebuilds a crashed server from its state directory: the
-// same identity seed (so its node ID — which workers announce to, spool
-// results for, and the client addresses — is unchanged), the same listen
-// address, a fresh store whose recovery the new server replays, and
-// re-dials to its chain neighbours. For the project server (i == 0) the
-// fabric's client link is re-dialled too.
-func (f *Fabric) RestartServer(i int) error {
-	st, err := f.openStore(i)
-	if err != nil {
-		return err
+// relistenServer rebuilds server i's overlay node: the same identity seed
+// (so its node ID — which workers announce to, spool results for, and the
+// client addresses — is unchanged), the same listen address and transport
+// (including any server chaos wrapper), and re-dials to its chain
+// neighbours in both directions: at bootstrap only server i dialled i-1,
+// but after a crash the neighbours' links are dead too and nobody else
+// redials.
+func (f *Fabric) relistenServer(i int) (*overlay.Node, error) {
+	tr := f.tr
+	if len(f.ServerChaos) > i && f.ServerChaos[i] != nil {
+		tr = f.ServerChaos[i]
 	}
-	node := overlay.NewNode(overlay.NewIdentityFromSeed(f.serverSeeds[i]), overlay.NewTrustStore(), f.tr)
+	node := overlay.NewNode(overlay.NewIdentityFromSeed(f.serverSeeds[i]), overlay.NewTrustStore(), tr)
 	node.Obs = f.cfg.Obs
 	if err := node.Listen(fmt.Sprintf("server-%d", i)); err != nil {
-		if st != nil {
-			st.Close()
-		}
 		node.Close()
-		return fmt.Errorf("core: restarting server %d: %w", i, err)
+		return nil, fmt.Errorf("core: restarting server %d: %w", i, err)
 	}
-	// Heal the chain in both directions: at bootstrap only server i dialled
-	// i-1, but after a crash the neighbours' links are dead too and nobody
-	// else redials.
 	for _, j := range []int{i - 1, i + 1} {
 		if j < 0 || j >= len(f.Servers) {
 			continue
@@ -362,21 +477,48 @@ func (f *Fabric) RestartServer(i int) error {
 				"server", i, "peer", j, "err", err)
 		}
 	}
-	f.nodes[i] = node
-	f.Stores[i] = st
-	f.Servers[i] = server.New(node, f.cfg.Registry, server.Config{
-		HeartbeatInterval: f.cfg.Heartbeat,
-		RelayTimeout:      2 * time.Second,
-		FSToken:           f.cfg.FSToken,
-		Store:             st,
-		Obs:               f.cfg.Obs,
-	})
-	if i == 0 && f.clientNode != nil {
-		if _, err := f.clientNode.ConnectPeer("server-0"); err != nil {
-			return fmt.Errorf("core: reconnecting client after restart: %w", err)
-		}
+	return node, nil
+}
+
+// reconnectClient re-dials the fabric's client link after server i came
+// back, for the servers the client peers with (the project server and any
+// standby).
+func (f *Fabric) reconnectClient(i int) error {
+	if f.clientNode == nil || (i != 0 && !f.isStandbyIdx(i)) {
+		return nil
+	}
+	if _, err := f.clientNode.ConnectPeer(fmt.Sprintf("server-%d", i)); err != nil {
+		return fmt.Errorf("core: reconnecting client after restart: %w", err)
 	}
 	return nil
+}
+
+// RestartServer rebuilds a crashed server from its state directory: a fresh
+// store whose recovery the new server replays, the same node identity and
+// listen address, and healed links. A server with a replication role comes
+// back in whatever role its durable replica metadata last recorded — see
+// restartReplicated.
+func (f *Fabric) RestartServer(i int) error {
+	if _, _, _, replicated := f.replRole(i); replicated {
+		return f.restartReplicated(i)
+	}
+	st, err := f.openStore(i)
+	if err != nil {
+		return err
+	}
+	node, err := f.relistenServer(i)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	f.smu.Lock()
+	f.nodes[i] = node
+	f.Stores[i] = st
+	f.Servers[i] = server.New(node, f.cfg.Registry, f.serverConfig(st))
+	f.smu.Unlock()
+	return f.reconnectClient(i)
 }
 
 // Close tears the deployment down.
@@ -384,12 +526,30 @@ func (f *Fabric) Close() {
 	if f.cancel != nil {
 		f.cancel()
 	}
+	// Replication peers stop first (their hooks swap servers and stores;
+	// nothing may churn underneath the teardown), outside the fabric lock
+	// for the same reason CrashServer closes them outside it.
+	for i := range f.Peers {
+		f.smu.Lock()
+		p := f.Peers[i]
+		f.Peers[i] = nil
+		f.smu.Unlock()
+		if p != nil {
+			p.Close()
+		}
+	}
 	for _, s := range f.Servers {
 		s.Close()
 	}
 	f.wg.Wait()
 	for _, ct := range f.Chaos {
 		ct.Stop()
+	}
+	for _, ct := range f.ServerChaos {
+		ct.Stop()
+	}
+	if f.ClientChaos != nil {
+		f.ClientChaos.Stop()
 	}
 	for _, n := range f.nodes {
 		n.Close()

@@ -372,6 +372,23 @@ func (n *Node) Peers() []string {
 	return out
 }
 
+// NotifyPeers sends one request to every currently connected peer in
+// parallel, ignoring individual failures, and waits for all attempts to
+// settle or time out. It is a best-effort broadcast for control-plane
+// announcements (e.g. a promoted standby claiming ownership): peers without
+// a handler for the type simply return an error reply, which is discarded.
+func (n *Node) NotifyPeers(t wire.MsgType, payload []byte, timeout time.Duration) {
+	var wg sync.WaitGroup
+	for _, id := range n.Peers() {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			_, _ = n.RequestTimeout(id, t, payload, timeout)
+		}(id)
+	}
+	wg.Wait()
+}
+
 // Close shuts the node down: all listeners and peer links are closed.
 func (n *Node) Close() {
 	n.mu.Lock()

@@ -386,6 +386,19 @@ func (s *Server) Project(name string) (wire.ProjectStatus, bool) {
 	return s.statusLocked(p), true
 }
 
+// ProjectNames returns the names of every project this server holds. A
+// promoted standby announces these on the overlay so workers and clients
+// redirect to the new owner.
+func (s *Server) ProjectNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.projects))
+	for name := range s.projects {
+		out = append(out, name)
+	}
+	return out
+}
+
 // WaitProject blocks until the named project finishes or fails, or ctx is
 // done. Bound the wait with context.WithTimeout (or use the fabric/client
 // helpers, which do).

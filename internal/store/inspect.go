@@ -61,8 +61,21 @@ type Inspection struct {
 	Segments  []InspectSegment  `json:"segments"`
 	// Baseline is the snapshot index recovery would start from (0 = none).
 	Baseline uint64 `json:"baseline"`
+	// LastSeq is the highest sequence number present in the directory —
+	// on a standby replica, the last replicated sequence number. An operator
+	// compares it against the primary's to judge promotion safety.
+	LastSeq uint64 `json:"last_seq"`
+	// Gap mirrors Recovered.Gap: a non-empty description means recovery
+	// from this directory would restore stale state because segments the
+	// baseline needs were compacted or deleted. Promote nothing that shows
+	// a gap.
+	Gap string `json:"gap,omitempty"`
+	// Replica is the replication metadata (epoch, role, peer) when the
+	// directory belongs to a replication pair; nil otherwise.
+	Replica *ReplicaMeta `json:"replica,omitempty"`
 	// Healthy is false when any file failed CRC or decode checks beyond a
-	// tolerated torn tail in the newest segment.
+	// tolerated torn tail in the newest segment, or the segment chain has a
+	// gap.
 	Healthy bool `json:"healthy"`
 }
 
@@ -134,6 +147,30 @@ func Inspect(dir string) (*Inspection, error) {
 			})
 		}
 		insp.Segments = append(insp.Segments, is)
+		for _, r := range recs {
+			if r.Seq > insp.LastSeq {
+				insp.LastSeq = r.Seq
+			}
+		}
+	}
+	for _, sn := range insp.Snapshots {
+		if sn.LastSeq > insp.LastSeq {
+			insp.LastSeq = sn.LastSeq
+		}
+	}
+
+	// Run the recovery chain audit so gaps surface here, not only in error
+	// logs at restart time (an operator deciding whether a standby is safe
+	// to promote needs this up front).
+	if rec, _, err := loadDir(dir); err == nil && rec.Gap != "" {
+		insp.Gap = rec.Gap
+		insp.Healthy = false
+	}
+
+	if meta, err := LoadReplicaMeta(dir); err != nil {
+		insp.Healthy = false
+	} else {
+		insp.Replica = meta
 	}
 	return insp, nil
 }

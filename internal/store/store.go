@@ -127,6 +127,11 @@ type Store struct {
 	sinceSnap int
 	pending   []chan error
 	closed    bool
+	// segFirst maps segment index → the first sequence number appended (or
+	// appendable) in that segment, for segments created by this process. It
+	// lets replication shipping skip whole segments and lets a replica pick
+	// a safe local baseline when installing a shipped snapshot.
+	segFirst map[uint64]uint64
 	// poisoned marks the active segment as possibly ending in a torn or
 	// partial frame (a failed or shortened write). readRecords stops a
 	// segment at the first corrupt frame, so appending past the damage
@@ -201,11 +206,12 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
 	}
 	s := &Store{
-		opts: opts,
-		log:  opts.Obs.Log.Named("store").With("dir", opts.Dir),
-		met:  newStoreMetrics(opts.Obs, opts.Dir),
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
+		opts:     opts,
+		log:      opts.Obs.Log.Named("store").With("dir", opts.Dir),
+		met:      newStoreMetrics(opts.Obs, opts.Dir),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		segFirst: make(map[uint64]uint64),
 	}
 	start := time.Now()
 	rec, maxIndex, err := loadDir(opts.Dir)
@@ -473,6 +479,7 @@ func (s *Store) rotateLocked() error {
 	s.segIndex = idx
 	s.segBytes = int64(len(segMagic))
 	s.poisoned = false
+	s.segFirst[idx] = s.nextSeq
 	return nil
 }
 
@@ -522,6 +529,13 @@ func (s *Store) compact(idx uint64) {
 		s.log.Info("compacted write-ahead log", "segments_removed", removed, "baseline", idx)
 	}
 	_ = atomicfile.SyncDir(s.opts.Dir)
+	s.mu.Lock()
+	for i := range s.segFirst {
+		if i < idx {
+			delete(s.segFirst, i)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Close flushes and fsyncs the active segment and stops the syncer. It

@@ -67,6 +67,16 @@ const (
 	// MsgWorkerFailed notifies a project server that a worker missed its
 	// heartbeats and its commands must be recovered (WorkerFailed).
 	MsgWorkerFailed MsgType = "workerfailed"
+	// MsgReplJoin registers (or re-registers) a standby with its primary,
+	// reporting the highest WAL sequence it has applied (ReplJoin → ReplAck).
+	MsgReplJoin MsgType = "repljoin"
+	// MsgReplicate ships a batch of WAL records and/or a snapshot baseline
+	// from a primary to its standby; the acknowledgement doubles as a lease
+	// renewal in both directions (ReplBatch → ReplAck).
+	MsgReplicate MsgType = "replicate"
+	// MsgPromoted announces that a standby has promoted itself and now owns
+	// the projects previously served by its fenced primary (Promoted).
+	MsgPromoted MsgType = "promoted"
 )
 
 // Envelope is the routed unit: a typed request or response addressed to a
@@ -220,6 +230,63 @@ type ProjectStatus struct {
 	Generation int
 	Note       string
 	Result     []byte // non-nil once the project has finished
+}
+
+// ReplJoin is a standby's registration with its primary. AppliedSeq lets the
+// primary resume shipping exactly where the standby left off (or decide a
+// snapshot baseline is needed because older records were compacted away).
+// The store packages on either side exchange records as opaque gob blobs, so
+// the wire layer stays ignorant of the WAL record schema.
+type ReplJoin struct {
+	StandbyID string
+	// Addr is the standby's transport address, persisted by the primary so a
+	// restarted ex-primary can find its fencer and demote cleanly.
+	Addr       string
+	Epoch      uint64
+	AppliedSeq uint64
+}
+
+// ReplBatch is one replication shipment from primary to standby. A batch
+// with no records and no snapshot is a pure lease heartbeat. Snapshot, when
+// non-nil, carries a verbatim snapshot-file image the standby installs as
+// its new baseline (compacting its replicated WAL).
+type ReplBatch struct {
+	PrimaryID string
+	Epoch     uint64
+	// Snapshot baseline (optional): the raw snapshot file bytes plus the
+	// sequence number it is guaranteed to reflect.
+	Snapshot    []byte
+	SnapLastSeq uint64
+	// Records is a gob-encoded []store.Record slice (opaque here), in
+	// ascending, contiguous sequence order; FirstSeq/LastSeq frame it.
+	Records  []byte
+	Count    int
+	FirstSeq uint64
+	LastSeq  uint64
+	// LeaseTimeoutMillis tells the standby how long to wait after the last
+	// accepted batch before concluding the primary is dead and promoting.
+	LeaseTimeoutMillis int64
+}
+
+// ReplAck acknowledges a ReplJoin or ReplBatch. Receiving a non-refused ack
+// renews the primary's side of the lease; sending one renews the standby's.
+// Epoch is always the responder's current epoch: a value above the sender's
+// tells the sender it has been fenced by a promotion.
+type ReplAck struct {
+	ResponderID string
+	Epoch       uint64
+	AppliedSeq  uint64
+	Refused     bool
+	Reason      string
+}
+
+// Promoted announces a standby's self-promotion on the overlay. A fenced
+// ex-primary that receives it demotes to standby; workers re-home to the new
+// owner; clients retarget submissions.
+type Promoted struct {
+	NodeID   string
+	Epoch    uint64
+	Projects []string
 }
 
 // Marshal gob-encodes a payload struct.

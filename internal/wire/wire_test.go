@@ -208,3 +208,68 @@ func TestVersionMismatchTyped(t *testing.T) {
 		t.Errorf("message %q does not name the offending version", ve.Error())
 	}
 }
+
+func TestReplicationPayloadRoundtrip(t *testing.T) {
+	batch := ReplBatch{
+		PrimaryID:          "srv-a",
+		Epoch:              3,
+		Snapshot:           []byte{0xCA, 0xFE},
+		SnapLastSeq:        41,
+		Records:            []byte("opaque-gob"),
+		Count:              2,
+		FirstSeq:           42,
+		LastSeq:            43,
+		LeaseTimeoutMillis: 1500,
+	}
+	raw, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ReplBatch
+	if err := Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.FirstSeq != 42 || got.LastSeq != 43 ||
+		!bytes.Equal(got.Snapshot, batch.Snapshot) || !bytes.Equal(got.Records, batch.Records) {
+		t.Errorf("ReplBatch roundtrip mismatch: %+v", got)
+	}
+
+	ack := ReplAck{ResponderID: "srv-b", Epoch: 4, AppliedSeq: 43, Refused: true, Reason: "fenced"}
+	raw, err = Marshal(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotAck ReplAck
+	if err := Unmarshal(raw, &gotAck); err != nil {
+		t.Fatal(err)
+	}
+	if gotAck != ack {
+		t.Errorf("ReplAck roundtrip = %+v, want %+v", gotAck, ack)
+	}
+
+	join := ReplJoin{StandbyID: "srv-b", Addr: "host:9051", Epoch: 2, AppliedSeq: 17}
+	raw, err = Marshal(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJoin ReplJoin
+	if err := Unmarshal(raw, &gotJoin); err != nil {
+		t.Fatal(err)
+	}
+	if gotJoin != join {
+		t.Errorf("ReplJoin roundtrip = %+v, want %+v", gotJoin, join)
+	}
+
+	promo := Promoted{NodeID: "srv-b", Epoch: 4, Projects: []string{"villin", "fip35"}}
+	raw, err = Marshal(promo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPromo Promoted
+	if err := Unmarshal(raw, &gotPromo); err != nil {
+		t.Fatal(err)
+	}
+	if gotPromo.NodeID != "srv-b" || gotPromo.Epoch != 4 || len(gotPromo.Projects) != 2 {
+		t.Errorf("Promoted roundtrip mismatch: %+v", gotPromo)
+	}
+}

@@ -177,6 +177,22 @@ func New(node *overlay.Node, home string, engs []engines.Engine, cfg Config) (*W
 	w.rpol.Scope = node.ID()
 	w.log = cfg.Obs.Log.Named("worker").With("worker", node.ID())
 	w.met = newWorkerMetrics(cfg.Obs, node.ID())
+	// A promoted standby announces ownership of its dead primary's projects;
+	// adopting it as home immediately beats waiting out failed announces
+	// before the rehome dial loop finds it.
+	node.Handle(wire.MsgPromoted, func(from string, payload []byte) ([]byte, error) {
+		var ann wire.Promoted
+		if err := wire.Unmarshal(payload, &ann); err != nil {
+			return nil, err
+		}
+		if ann.NodeID != "" && ann.NodeID != w.Home() {
+			w.log.Info("server promotion announced; re-homing",
+				"new_home", ann.NodeID, "epoch", ann.Epoch)
+			w.met.rehomes.Inc()
+			w.setHome(ann.NodeID)
+		}
+		return []byte{}, nil
+	})
 	return w, nil
 }
 

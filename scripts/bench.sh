@@ -5,8 +5,27 @@
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime   go -benchtime value for the micro-benches (default 2s;
 #               pass e.g. 1x for a smoke run)
+#
+# The parallel-speedup numbers (shard scaling, rebuild workers) are
+# meaningless on a single-core host, so such runs are refused unless
+# BENCH_ALLOW_SINGLE_CORE=1 — and then the output is annotated so nobody
+# mistakes the figures for real scaling data. The host core count is
+# stamped into BENCH_md.json either way.
 set -eu
 cd "$(dirname "$0")/.."
+
+NPROC="$(nproc 2>/dev/null || echo 1)"
+SINGLE_CORE=0
+if [ "$NPROC" -le 1 ]; then
+    if [ "${BENCH_ALLOW_SINGLE_CORE:-0}" = "1" ]; then
+        SINGLE_CORE=1
+        echo "bench: WARNING: single-core host ($NPROC cpu) — parallel speedups below are NOT meaningful" >&2
+    else
+        echo "bench: refusing to benchmark on a single-core host ($NPROC cpu):" >&2
+        echo "bench: shard/worker speedup numbers would be noise. Set BENCH_ALLOW_SINGLE_CORE=1 to override." >&2
+        exit 1
+    fi
+fi
 
 BENCHTIME="${1:-2s}"
 OUT="BENCH_md.json"
@@ -21,7 +40,7 @@ echo "== Fig-level benches (repo root, -benchtime 1x) =="
 go test -run=NONE -bench='BenchmarkMDEngineThroughput|BenchmarkT2_SingleSimScaling' \
     -benchtime 1x . | tee -a "$TMP"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v nproc="$(nproc 2>/dev/null || echo 1)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v nproc="$NPROC" -v single="$SINGLE_CORE" '
 /^Benchmark/ {
     name = $1
     sub(/^Benchmark/, "", name)
@@ -34,6 +53,7 @@ END {
     printf "{\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"nproc\": %d,\n", nproc
+    if (single) printf "  \"single_core_host\": true,\n"
     printf "  \"ns_per_op\": {\n"
     n = 0
     for (k in ns) order[n++] = k

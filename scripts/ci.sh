@@ -19,11 +19,11 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
-echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store, md) =="
+echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store, store/replica, md) =="
 go test -race ./internal/obs/... ./internal/server/... \
     ./internal/worker/... ./internal/queue/... ./internal/overlay/... \
     ./internal/retry/... ./internal/chaos/... ./internal/store/... \
-    ./internal/md/...
+    ./internal/store/replica/... ./internal/md/...
 
 echo "== md bench smoke =="
 go test -run=NONE -bench=. -benchtime=1x ./internal/md
@@ -33,5 +33,8 @@ go test -race -run TestChaosSoak -timeout 300s ./internal/core/
 
 echo "== crash-restart recovery (race) =="
 go test -race -run TestFabricCrashRestart -timeout 600s ./internal/core/
+
+echo "== standby failover (race) =="
+go test -race -run TestFailover -timeout 600s ./internal/core/
 
 echo "ci: all checks passed"

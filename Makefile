@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race chaos crash failover ci bench fmt
+.PHONY: all build vet test race chaos crash failover tenants ci bench fmt
 
 all: build
 
@@ -39,6 +39,12 @@ crash:
 # docs/PERSISTENCE.md ("Replication & failover").
 failover:
 	$(GO) test -race -run TestFailover -v -timeout 600s ./internal/core/
+
+# The multi-tenant scheduling acceptance scenario: 2000 tenants with
+# heavy-tailed traffic against the real fair-share queue, with a
+# slow-fsync WAL fault window — see docs/SCHEDULING.md.
+tenants:
+	$(GO) test -race -run 'TestMultiTenantScenario|TestTenantScenario' -v -timeout 300s ./internal/des/
 
 ci:
 	sh scripts/ci.sh

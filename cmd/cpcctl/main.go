@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	cpcctl -server host:7770 submit -name myrun -controller msm [flags]
+//	cpcctl -server host:7770 submit -name myrun -controller msm [-tenant T] [-priority N] [-deadline D] [flags]
 //	cpcctl -server host:7770 status -name myrun [-watch]
+//	cpcctl -server host:7770 tenant list
+//	cpcctl -server host:7770 tenant quota get -tenant T
+//	cpcctl -server host:7770 tenant quota set -tenant T [-weight W] [-max-queued N] [-max-cores N] [-max-storage-bytes N]
 //	cpcctl state inspect <state-dir>
 //
 // Controller flags (submit):
 //
 //	msm: -generations -clusters -starts -tasks -segment-ns -weighting
-//	bar: -windows -samples -target-stderr -deltaf
+//	bar: -windows -samples -target-stderr -delta-f
+//
+// Flag names are kebab-case (`-state-dir` style). `-deltaf` remains as a
+// deprecated alias for `-delta-f`.
 //
 // `state inspect` is offline: it reads a server's -state-dir directly
 // (snapshot + WAL tail as JSON, CRCs verified) without contacting any
@@ -21,6 +27,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +79,8 @@ func main() {
 		submit(cl, flag.Args()[1:])
 	case "status":
 		status(cl, flag.Args()[1:])
+	case "tenant":
+		tenantCmd(cl, flag.Args()[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "cpcctl: unknown subcommand %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -123,8 +132,13 @@ func submit(cl *client.Client, args []string) {
 	windows := fs.Int("windows", 5, "bar: lambda windows")
 	samples := fs.Int("samples", 500, "bar: samples per command")
 	target := fs.Float64("target-stderr", 0.05, "bar: stop at this total error (kT)")
-	deltaf := fs.Float64("deltaf", 3.0, "bar: exact ΔF of the synthetic system (kT)")
+	deltaf := fs.Float64("delta-f", 3.0, "bar: exact ΔF of the synthetic system (kT)")
+	fs.Float64Var(deltaf, "deltaf", 3.0, "deprecated alias for -delta-f")
 	seed := fs.Uint64("seed", 1, "project RNG seed")
+	// Multi-tenant submission flags.
+	tenant := fs.String("tenant", "", "tenant account to bill the project to (empty = default tenant)")
+	priority := fs.Int("priority", 0, "base priority the project's commands inherit")
+	deadline := fs.Duration("deadline", 0, "reject the submission if not admitted within this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
 	}
@@ -169,10 +183,110 @@ func submit(cl *client.Client, args []string) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := cl.Submit(ctx, *name, *ctrl, params); err != nil {
-		log.Fatalf("submit: %v", err)
+	req := client.SubmitRequest{
+		Name:       *name,
+		Controller: *ctrl,
+		Params:     params,
+		Tenant:     *tenant,
+		Priority:   *priority,
 	}
-	fmt.Printf("cpcctl: project %q submitted (%s controller)\n", *name, *ctrl)
+	if *deadline != 0 {
+		req.Deadline = time.Now().Add(*deadline)
+	}
+	receipt, err := cl.Submit(ctx, req)
+	if err != nil {
+		switch {
+		case errors.Is(err, client.ErrQuotaExceeded):
+			log.Fatalf("submit: rejected by tenant quota (terminal — raise the quota or drain usage): %v", err)
+		case errors.Is(err, client.ErrAdmissionShed):
+			log.Fatalf("submit: shed by admission control (retryable — back off and resubmit): %v", err)
+		default:
+			log.Fatalf("submit: %v", err)
+		}
+	}
+	fmt.Printf("cpcctl: project %q submitted (%s controller, tenant %q) to %s\n",
+		*name, *ctrl, receipt.Tenant, receipt.Server)
+}
+
+// tenantCmd handles `tenant list`, `tenant quota get` and `tenant quota set`.
+func tenantCmd(cl *client.Client, args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cpcctl tenant {list | quota get -tenant T | quota set -tenant T [flags]}")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	switch args[0] {
+	case "list":
+		tenants, err := cl.Tenants(ctx)
+		if err != nil {
+			log.Fatalf("tenant list: %v", err)
+		}
+		for _, t := range tenants {
+			printTenant(t)
+		}
+	case "quota":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: cpcctl tenant quota {get|set} -tenant T [flags]")
+			os.Exit(2)
+		}
+		switch args[1] {
+		case "get":
+			fs := flag.NewFlagSet("tenant quota get", flag.ExitOnError)
+			tenant := fs.String("tenant", "", "tenant ID (required)")
+			if err := fs.Parse(args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			if *tenant == "" {
+				log.Fatal("cpcctl tenant quota get: -tenant is required")
+			}
+			st, err := cl.TenantQuota(ctx, *tenant)
+			if err != nil {
+				log.Fatalf("tenant quota get: %v", err)
+			}
+			printTenant(st)
+		case "set":
+			fs := flag.NewFlagSet("tenant quota set", flag.ExitOnError)
+			tenant := fs.String("tenant", "", "tenant ID (required)")
+			weight := fs.Float64("weight", 0, "fair-share weight (0 = keep current)")
+			maxQueued := fs.Int("max-queued", -1, "max queued commands (-1 = keep, 0 = unlimited)")
+			maxCores := fs.Int("max-cores", -1, "max concurrent cores (-1 = keep, 0 = unlimited)")
+			maxStorage := fs.Int64("max-storage-bytes", -1, "max stored result bytes (-1 = keep, 0 = unlimited)")
+			if err := fs.Parse(args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			if *tenant == "" {
+				log.Fatal("cpcctl tenant quota set: -tenant is required")
+			}
+			st, err := cl.SetTenantQuota(ctx, wire.TenantQuotaUpdate{
+				Tenant:          *tenant,
+				Weight:          *weight,
+				MaxQueued:       *maxQueued,
+				MaxCores:        *maxCores,
+				MaxStorageBytes: *maxStorage,
+			})
+			if err != nil {
+				log.Fatalf("tenant quota set: %v", err)
+			}
+			printTenant(st)
+		default:
+			fmt.Fprintf(os.Stderr, "cpcctl tenant quota: unknown action %q\n", args[1])
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cpcctl tenant: unknown action %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func printTenant(t wire.TenantStatus) {
+	id := t.ID
+	if id == "" {
+		id = "(default)"
+	}
+	fmt.Printf("%s  weight=%g max-queued=%d max-cores=%d max-storage-bytes=%d  queued=%d inflight-cores=%d core-seconds=%.1f storage-bytes=%d oldest-wait=%.1fs\n",
+		id, t.Weight, t.MaxQueued, t.MaxCores, t.MaxStorageBytes,
+		t.Queued, t.InflightCores, t.CoreSeconds, t.StorageBytes, t.OldestWaitSeconds)
 }
 
 func status(cl *client.Client, args []string) {

@@ -46,8 +46,10 @@ func main() {
 	platform := flag.String("platform", "smp", "platform plugin name")
 	poll := flag.Duration("poll", 2*time.Second, "idle re-announce interval")
 	fsToken := flag.String("fs-token", "", "shared-filesystem token")
-	spool := flag.String("spool", "", "shared-filesystem spool directory")
-	resultSpool := flag.String("result-spool", "", "directory to spool undeliverable results for redelivery; empty disables")
+	spool := flag.String("spool-dir", "", "shared-filesystem spool directory")
+	flag.StringVar(spool, "spool", "", "deprecated alias for -spool-dir")
+	resultSpool := flag.String("result-spool-dir", "", "directory to spool undeliverable results for redelivery; empty disables")
+	flag.StringVar(resultSpool, "result-spool", "", "deprecated alias for -result-spool-dir")
 	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per overlay request (0 = default)")
 	retryBase := flag.Duration("retry-base-delay", 0, "initial retry backoff (0 = default)")
 	retryMax := flag.Duration("retry-max-delay", 0, "backoff cap (0 = default)")

@@ -83,31 +83,160 @@ func (c *Client) Server() string {
 	return c.server
 }
 
-// Submit creates a project. Submission is not naturally idempotent (a
-// project name can only be created once), so when a retried attempt learns
-// the project "already exists", that means an earlier attempt succeeded but
-// its reply was lost — Submit reports success.
-func (c *Client) Submit(ctx context.Context, name, controllerName string, params []byte) error {
-	payload, err := wire.Marshal(&wire.ProjectSubmit{
-		Name:       name,
-		Controller: controllerName,
-		Params:     params,
-	})
-	if err != nil {
-		return err
+// Typed admission outcomes, re-exported so callers can classify rejections
+// without importing the wire package. Quota violations are terminal: the
+// same submission fails until the tenant's quota or usage changes.
+// Admission sheds are retryable: the server (or its WAL) is overloaded and
+// backing off is the correct response — Submit does so automatically under
+// its retry policy.
+var (
+	ErrQuotaExceeded = wire.ErrQuotaExceeded
+	ErrAdmissionShed = wire.ErrAdmissionShed
+)
+
+// SubmitRequest describes one project submission.
+type SubmitRequest struct {
+	// Name is the unique project name; Controller the plugin that drives it.
+	Name       string
+	Controller string
+	// Params is the controller-specific configuration blob.
+	Params []byte
+	// Tenant bills the project's commands to this fair-share account
+	// ("" = the default tenant).
+	Tenant string
+	// Priority is the base priority commands inherit when the controller
+	// does not set one.
+	Priority int
+	// Deadline, when non-zero, tells the server to reject the submission
+	// (with ErrAdmissionShed) if it is admitted after this instant — the
+	// client has given up by then.
+	Deadline time.Time
+}
+
+// SubmitOption mutates a SubmitRequest; use with Submit for call sites that
+// prefer options over struct literals.
+type SubmitOption func(*SubmitRequest)
+
+// WithTenant bills the project to the given tenant account.
+func WithTenant(tenant string) SubmitOption {
+	return func(r *SubmitRequest) { r.Tenant = tenant }
+}
+
+// WithPriority sets the base priority the project's commands inherit.
+func WithPriority(priority int) SubmitOption {
+	return func(r *SubmitRequest) { r.Priority = priority }
+}
+
+// WithDeadline bounds how stale the submission may be when admitted.
+func WithDeadline(d time.Time) SubmitOption {
+	return func(r *SubmitRequest) { r.Deadline = d }
+}
+
+// Submit creates a project and returns the server's admission receipt.
+// Admission rejections carry typed retry classes: errors.Is(err,
+// ErrQuotaExceeded) is terminal, errors.Is(err, ErrAdmissionShed) means the
+// server shed load — Submit already retried under its policy, so a caller
+// seeing it should back off longer before resubmitting.
+//
+// Submission is not naturally idempotent (a project name can only be
+// created once), so when a retried attempt learns the project "already
+// exists", that means an earlier attempt succeeded but its reply was lost —
+// Submit reports success with a synthesized receipt.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest, opts ...SubmitOption) (wire.SubmitReceipt, error) {
+	for _, opt := range opts {
+		opt(&req)
 	}
+	sub := wire.ProjectSubmit{
+		Name:       req.Name,
+		Controller: req.Controller,
+		Params:     req.Params,
+		Tenant:     req.Tenant,
+		Priority:   req.Priority,
+	}
+	if !req.Deadline.IsZero() {
+		sub.DeadlineUnixNano = req.Deadline.UnixNano()
+	}
+	payload, err := wire.Marshal(&sub)
+	if err != nil {
+		return wire.SubmitReceipt{}, err
+	}
+	var receipt wire.SubmitReceipt
 	attempt := 0
-	return c.cfg.Retry.Do(ctx, "submit", func(ctx context.Context) error {
+	err = c.cfg.Retry.Do(ctx, "submit", func(ctx context.Context) error {
 		attempt++
-		_, err := c.node.Request(ctx, c.Server(), wire.MsgSubmit, payload)
+		reply, err := c.node.Request(ctx, c.Server(), wire.MsgSubmit, payload)
 		var remote *overlay.RemoteError
 		if errors.As(err, &remote) {
 			if attempt > 1 && strings.Contains(remote.Msg, "already exists") {
-				return nil // the lost first attempt landed
+				// The lost first attempt landed.
+				receipt = wire.SubmitReceipt{Project: req.Name, Tenant: req.Tenant, Server: c.Server()}
+				return nil
+			}
+			if errors.Is(err, wire.ErrAdmissionShed) {
+				return err // retryable: back off and try again
 			}
 			return retry.Permanent(err)
 		}
-		return err
+		if err != nil {
+			return err
+		}
+		return wire.Unmarshal(reply, &receipt)
+	})
+	return receipt, err
+}
+
+// --- tenant administration ---
+
+// Tenants lists every tenant account the submission server's scheduler
+// knows about (weights, quotas, usage).
+func (c *Client) Tenants(ctx context.Context) ([]wire.TenantStatus, error) {
+	payload, err := wire.Marshal(&wire.TenantListRequest{})
+	if err != nil {
+		return nil, err
+	}
+	var list wire.TenantList
+	err = c.request(ctx, "tenant_list", wire.MsgTenantList, payload, &list)
+	return list.Tenants, err
+}
+
+// TenantQuota reports one tenant's weight, quotas and usage.
+func (c *Client) TenantQuota(ctx context.Context, tenant string) (wire.TenantStatus, error) {
+	payload, err := wire.Marshal(&wire.TenantQuotaRequest{Tenant: tenant})
+	if err != nil {
+		return wire.TenantStatus{}, err
+	}
+	var st wire.TenantStatus
+	err = c.request(ctx, "tenant_quota_get", wire.MsgTenantQuotaGet, payload, &st)
+	return st, err
+}
+
+// SetTenantQuota applies a weight/quota update (wire.TenantQuotaUpdate
+// semantics: Weight <= 0 keeps, negative quota keeps, zero clears) and
+// returns the resulting status.
+func (c *Client) SetTenantQuota(ctx context.Context, upd wire.TenantQuotaUpdate) (wire.TenantStatus, error) {
+	payload, err := wire.Marshal(&upd)
+	if err != nil {
+		return wire.TenantStatus{}, err
+	}
+	var st wire.TenantStatus
+	err = c.request(ctx, "tenant_quota_set", wire.MsgTenantQuotaSet, payload, &st)
+	return st, err
+}
+
+// request runs one retried unicast request against the submission server
+// and decodes the reply. Remote handler errors are permanent (the server
+// answered; asking again changes nothing).
+func (c *Client) request(ctx context.Context, op string, t wire.MsgType, payload []byte, out any) error {
+	return c.cfg.Retry.Do(ctx, op, func(ctx context.Context) error {
+		reply, err := c.node.Request(ctx, c.Server(), t, payload)
+		if err != nil {
+			var remote *overlay.RemoteError
+			if errors.As(err, &remote) {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		return wire.Unmarshal(reply, out)
 	})
 }
 

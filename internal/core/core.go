@@ -401,13 +401,19 @@ func (f *Fabric) ProjectServer() *server.Server { return f.Servers[0] }
 func (f *Fabric) Client() *client.Client { return f.cl }
 
 // Submit creates a project on the project server through the wire protocol
-// (exactly what cmd/cpcctl does over TLS).
-func (f *Fabric) Submit(ctx context.Context, name, controllerName string, params any) error {
+// (exactly what cmd/cpcctl does over TLS). Options set tenant, priority and
+// deadline on the underlying client.SubmitRequest.
+func (f *Fabric) Submit(ctx context.Context, name, controllerName string, params any, opts ...client.SubmitOption) error {
 	blob, err := wire.Marshal(params)
 	if err != nil {
 		return err
 	}
-	return f.cl.Submit(ctx, name, controllerName, blob)
+	_, err = f.cl.Submit(ctx, client.SubmitRequest{
+		Name:       name,
+		Controller: controllerName,
+		Params:     blob,
+	}, opts...)
+	return err
 }
 
 // Status queries a project over the wire.

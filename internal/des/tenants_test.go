@@ -1,0 +1,139 @@
+package des
+
+import (
+	"strings"
+	"testing"
+
+	"copernicus/internal/obs"
+)
+
+// TestMultiTenantScenario is the acceptance run for the multi-tenant
+// control plane: 2000 background tenants plus saturated heavy hitters in
+// four weight classes drive the real fair-share queue for a simulated
+// hour with a slow-fsync WAL fault window at mid-run.
+func TestMultiTenantScenario(t *testing.T) {
+	p := DefaultTenantParams()
+	o := obs.New()
+	p.Obs = o
+	res, err := SimulateTenants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("submitted=%d dispatched=%d completed=%d shed=%d quotaReject=%d util=%.2f",
+		res.Submitted, res.Dispatched, res.Completed, res.Shed, res.QuotaReject, res.Utilization)
+	t.Logf("shareErr=%.3f maxWait=%.0fs maxGap=%.0fs starved=%d",
+		res.MaxShareError, res.MaxWaitSeconds, res.MaxGapSeconds, len(res.Starved))
+	t.Logf("fault: peakPressure=%.2f sheds=%d inflight start=%d min=%d end=%d after-fault dispatches=%d",
+		res.PeakPressure, res.FaultSheds, res.InflightAtFaultStart,
+		res.MinInflightDuringFault, res.InflightAtFaultEnd, res.DispatchesAfterFault)
+
+	// The fleet must actually be busy for the fairness claims to mean
+	// anything: heavy hitters keep it saturated outside the fault window.
+	if res.Utilization < 0.6 {
+		t.Errorf("utilization = %.2f, want >= 0.6", res.Utilization)
+	}
+
+	// Acceptance: per-tenant core time proportional to weights within 10%
+	// across the saturated tenants.
+	if res.MaxShareError > 0.10 {
+		for _, h := range res.Heavy {
+			t.Logf("  %s w=%g coreSeconds=%.0f share=%.1f",
+				h.ID, h.Weight, h.CoreSeconds, h.CoreSeconds/h.Weight)
+		}
+		t.Errorf("weighted share error = %.3f, want <= 0.10", res.MaxShareError)
+	}
+	for _, h := range res.Heavy {
+		if h.Dispatched == 0 {
+			t.Errorf("heavy hitter %s never dispatched", h.ID)
+		}
+	}
+
+	// Acceptance: zero starved tenants — every backlogged tenant keeps
+	// being served within the gap SLO, fault window included.
+	if len(res.Starved) != 0 {
+		t.Errorf("starved tenants (gap > %.0fs): %v", p.GapSLOSeconds, res.Starved)
+	}
+
+	// Acceptance: the slow-fsync fault window is visible and bounded. WAL
+	// pressure must cross the shed threshold, admission must shed, and the
+	// in-flight window must drain rather than pile up.
+	if res.PeakPressure < 0.95 {
+		t.Errorf("peak pressure = %.2f, want >= 0.95 during the fault window", res.PeakPressure)
+	}
+	if res.FaultSheds == 0 {
+		t.Error("no submissions shed during the WAL fault window")
+	}
+	if res.InflightAtFaultEnd >= res.InflightAtFaultStart {
+		t.Errorf("in-flight did not drain under backpressure: start=%d end=%d",
+			res.InflightAtFaultStart, res.InflightAtFaultEnd)
+	}
+	if res.MinInflightDuringFault > res.Capacity/4 {
+		t.Errorf("in-flight window stayed at %d cores during the fault, want <= %d",
+			res.MinInflightDuringFault, res.Capacity/4)
+	}
+	// And the cluster recovers: pressure decays and dispatching resumes.
+	if res.FinalPressure > 0.5 {
+		t.Errorf("final pressure = %.2f, want < 0.5 after the fault clears", res.FinalPressure)
+	}
+	if res.DispatchesAfterFault == 0 {
+		t.Error("no dispatches after the fault window cleared")
+	}
+
+	// Quota enforcement: the capped background tenants' oversized bursts
+	// hit the terminal rejection path.
+	if res.QuotaReject == 0 {
+		t.Error("no terminal quota rejections despite capped tenants")
+	}
+
+	// The per-tenant metric families are populated for operators.
+	var b strings.Builder
+	o.Metrics.WriteText(&b)
+	text := b.String()
+	for _, family := range []string{
+		"copernicus_tenant_queued",
+		"copernicus_tenant_inflight_cores",
+		"copernicus_queue_pressure",
+		"copernicus_queue_shed_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metrics output missing %s", family)
+		}
+	}
+	if !strings.Contains(text, `tenant="heavy-0-0"`) {
+		t.Error("metrics output missing per-tenant labels")
+	}
+}
+
+func TestTenantScenarioDeterministic(t *testing.T) {
+	p := DefaultTenantParams()
+	// Trim for speed: determinism does not need the full hour.
+	p.Tenants = 300
+	p.HorizonSeconds = 600
+	a, err := SimulateTenants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateTenants(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Submitted != b.Submitted || a.Completed != b.Completed ||
+		a.Shed != b.Shed || a.MaxShareError != b.MaxShareError {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestTenantParamsValidation(t *testing.T) {
+	bad := []TenantParams{
+		{},
+		{Tenants: 1, Workers: 1, CoresPerWorker: 1, HorizonSeconds: 10, MeanCmdSeconds: 1,
+			WeightClasses: []float64{1}, HeavyPerClass: 1, ParetoAlpha: 1},
+		{Tenants: 1, Workers: 1, CoresPerWorker: 1, HorizonSeconds: 10, MeanCmdSeconds: 1,
+			HeavyPerClass: 1, ParetoAlpha: 2},
+	}
+	for i, p := range bad {
+		if _, err := SimulateTenants(p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}

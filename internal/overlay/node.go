@@ -32,13 +32,27 @@ var ErrNoRoute = errors.New("overlay: no route to peer")
 // errors.Is(err, overlay.ErrVersionMismatch).
 var ErrVersionMismatch = wire.ErrVersionMismatch
 
+// ErrProtoVersion is the preferred name for ErrVersionMismatch, matching
+// the wire sentinel it re-exports.
+var ErrProtoVersion = wire.ErrProtoVersion
+
 // RemoteError is an error reply produced by the remote handler. Its
 // presence means the request WAS delivered and answered — retrying will not
 // change the outcome — which is how retry policies distinguish application
-// failures from transport failures.
-type RemoteError struct{ Msg string }
+// failures from transport failures. Code, when non-empty, is the wire error
+// class (wire.ErrCode* constants); Unwrap maps it back to the matching
+// sentinel so errors.Is(err, wire.ErrQuotaExceeded) works through the
+// overlay.
+type RemoteError struct {
+	Msg  string
+	Code string
+}
 
 func (e *RemoteError) Error() string { return "overlay: remote error: " + e.Msg }
+
+// Unwrap exposes the sentinel behind Code (nil for uncoded errors), letting
+// errors.Is match remote admission-control failures across the network.
+func (e *RemoteError) Unwrap() error { return wire.SentinelFor(e.Code) }
 
 // Handler processes a request payload from a peer and returns the reply
 // payload. Returning ErrNotHandled forwards the request instead (only
@@ -481,7 +495,7 @@ func (n *Node) Request(ctx context.Context, to string, t wire.MsgType, payload [
 			return nil, net.ErrClosed
 		}
 		if reply.Err != "" {
-			return nil, &RemoteError{Msg: reply.Err}
+			return nil, &RemoteError{Msg: reply.Err, Code: reply.ErrCode}
 		}
 		return reply.Payload, nil
 	case <-ctx.Done():
@@ -566,6 +580,7 @@ func (n *Node) reply(req *wire.Envelope, payload []byte, err error, origin strin
 	}
 	if err != nil {
 		rep.Err = err.Error()
+		rep.ErrCode = wire.CodeOf(err)
 	}
 	if req.From == n.id.ID {
 		// Local request answered locally.

@@ -508,3 +508,84 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 		t.Errorf("error %v does not carry the peer's version", err)
 	}
 }
+
+// TestHandshakeOldPeerRefusedCleanly is the rolling-upgrade half of the
+// version story: a protocol-v1 peer (pre-tenant) must be refused with
+// ErrProtoVersion, not a gob mis-decode.
+func TestHandshakeOldPeerRefusedCleanly(t *testing.T) {
+	net := NewMemNetwork()
+	tr := net.Transport()
+	ln, err := tr.Listen("old-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = wire.ReadEnvelope(conn) // swallow the initiator's hello
+		_ = wire.WriteEnvelope(conn, &wire.Envelope{Version: 1, Type: "hello", From: "v1-node"})
+	}()
+
+	a := NewNode(NewIdentityFromSeed(3), NewTrustStore(), tr)
+	defer a.Close()
+	_, err = a.ConnectPeer("old-node")
+	if err == nil {
+		t.Fatal("handshake against v1 peer succeeded")
+	}
+	if !errors.Is(err, ErrProtoVersion) {
+		t.Errorf("errors.Is(err, ErrProtoVersion) = false for %v", err)
+	}
+	var ve *wire.VersionError
+	if !errors.As(err, &ve) || ve.Got != 1 || ve.Want != wire.ProtocolVersion {
+		t.Errorf("error %v does not carry both versions", err)
+	}
+}
+
+// TestRemoteErrorCodePlumbing sends a request whose handler fails with the
+// admission sentinels and checks errors.Is matches across the network: the
+// handler's error wraps a sentinel, reply() stamps Envelope.ErrCode, and the
+// requester's RemoteError unwraps back to the same sentinel.
+func TestRemoteErrorCodePlumbing(t *testing.T) {
+	a, b, _ := twoNodes(t)
+	a.Handle(wire.MsgSubmit, func(_ string, payload []byte) ([]byte, error) {
+		switch string(payload) {
+		case "quota":
+			return nil, fmt.Errorf("tenant acme over quota: %w", wire.ErrQuotaExceeded)
+		case "shed":
+			return nil, fmt.Errorf("WAL pressure too high: %w", wire.ErrAdmissionShed)
+		}
+		return nil, errors.New("plain failure")
+	})
+
+	_, err := b.RequestTimeout(a.ID(), wire.MsgSubmit, []byte("quota"), time.Second)
+	if !errors.Is(err, wire.ErrQuotaExceeded) {
+		t.Errorf("quota error did not survive the wire: %v", err)
+	}
+	if errors.Is(err, wire.ErrAdmissionShed) {
+		t.Error("quota error must not match the shed sentinel")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.ErrCodeQuota {
+		t.Errorf("RemoteError.Code = %q, want %q (err %v)", re.Code, wire.ErrCodeQuota, err)
+	}
+
+	_, err = b.RequestTimeout(a.ID(), wire.MsgSubmit, []byte("shed"), time.Second)
+	if !errors.Is(err, wire.ErrAdmissionShed) {
+		t.Errorf("shed error did not survive the wire: %v", err)
+	}
+
+	_, err = b.RequestTimeout(a.ID(), wire.MsgSubmit, []byte("other"), time.Second)
+	if err == nil {
+		t.Fatal("plain failure did not surface")
+	}
+	if errors.Is(err, wire.ErrQuotaExceeded) || errors.Is(err, wire.ErrAdmissionShed) {
+		t.Errorf("uncoded error matched an admission sentinel: %v", err)
+	}
+	if !errors.As(err, &re) || re.Code != "" {
+		t.Errorf("uncoded RemoteError.Code = %q, want empty", re.Code)
+	}
+}

@@ -63,6 +63,22 @@ func (s *Server) recoverFromStore() {
 	s.replaying.Store(true)
 	restored := 0
 	if rec.Snapshot != nil {
+		// Tenant accounts first: weights, quotas and the storage already
+		// billed, so replayed/reseeded commands land in configured accounts.
+		// Fair-share virtual time and core-second usage restart from zero —
+		// a restart is a deliberate amnesty, not a billing event.
+		for _, ts := range rec.Snapshot.Tenants {
+			s.q.SetQuota(wire.TenantQuotaUpdate{
+				Tenant:          ts.ID,
+				Weight:          ts.Weight,
+				MaxQueued:       ts.MaxQueued,
+				MaxCores:        ts.MaxCores,
+				MaxStorageBytes: ts.MaxStorageBytes,
+			})
+			if ts.StorageBytes > 0 {
+				s.q.ChargeStorage(ts.ID, ts.StorageBytes)
+			}
+		}
 		for _, ps := range rec.Snapshot.Projects {
 			if err := s.restoreProject(ps); err != nil {
 				s.log.Error("restoring project from snapshot failed",
@@ -109,6 +125,8 @@ func (s *Server) restoreProject(ps store.ProjectSnap) error {
 	p := &project{
 		name:       ps.Name,
 		ctrl:       ctrl,
+		tenant:     ps.Tenant,
+		priority:   ps.Priority,
 		state:      ps.State,
 		generation: ps.Generation,
 		note:       ps.Note,
@@ -160,6 +178,8 @@ func (s *Server) replayRecord(r store.Record) {
 		p := &project{
 			name:     r.Project,
 			ctrl:     ctrl,
+			tenant:   r.Tenant,
+			priority: r.Count,
 			state:    "running",
 			commands: make(map[string]*cmdState),
 			done:     make(chan struct{}),
@@ -230,6 +250,23 @@ func (s *Server) replayRecord(r store.Record) {
 				cs.submittedAt = time.Now()
 			}
 		})
+
+	case store.RecCommandPreempted:
+		s.withProjectCommand(r.Project, r.Command, func(p *project, cs *cmdState) {
+			if cs.status == cmdRunning {
+				cs.status = cmdQueued
+				cs.worker = ""
+				cs.preempts = r.Count
+				cs.submittedAt = time.Now()
+			}
+		})
+
+	case store.RecTenantQuota:
+		var upd wire.TenantQuotaUpdate
+		if err := wire.Unmarshal(r.Data, &upd); err != nil {
+			return
+		}
+		s.q.SetQuota(upd)
 
 	case store.RecCommandFailed:
 		s.withProjectCommand(r.Project, r.Command, func(p *project, cs *cmdState) {
@@ -304,7 +341,9 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 				if len(cs.checkpoint) > 0 {
 					spec.Checkpoint = cs.checkpoint
 				}
-				if err := s.q.Push(spec); err != nil {
+				// Requeue, not Push: these commands were admitted before the
+				// restart; re-running admission could bounce accepted work.
+				if err := s.q.Requeue(spec); err != nil {
 					s.log.Error("re-seeding queued command failed", "cmd", id, "err", err)
 				} else {
 					queued++
@@ -342,7 +381,7 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 				if len(cs.checkpoint) > 0 {
 					spec.Checkpoint = cs.checkpoint
 				}
-				if err := s.q.Push(spec); err != nil {
+				if err := s.q.Requeue(spec); err != nil {
 					s.log.Error("requeueing orphaned command failed", "cmd", id, "err", err)
 				} else {
 					orphans++
@@ -419,12 +458,14 @@ func (s *Server) captureSnapshot() (*store.Snapshot, error) {
 		ps = append(ps, p)
 	}
 	s.mu.Unlock()
-	snap := &store.Snapshot{}
+	snap := &store.Snapshot{Tenants: s.q.Tenants()}
 	for _, p := range ps {
 		p.mu.Lock()
 		sp := store.ProjectSnap{
 			Name:       p.name,
 			Controller: p.ctrl.Name(),
+			Tenant:     p.tenant,
+			Priority:   p.priority,
 			State:      p.state,
 			Generation: p.generation,
 			Note:       p.note,

@@ -54,6 +54,23 @@ type Config struct {
 	// FSToken identifies the server's filesystem for the shared-FS
 	// optimisation; empty disables it.
 	FSToken string
+	// MaxQueuedTotal bounds the command queue across all tenants; submits
+	// beyond it are shed with wire.ErrAdmissionShed. 0 = unlimited.
+	MaxQueuedTotal int
+	// StarvationAge is how long a queued command may wait before it jumps
+	// fair-share order (0 = the queue's 30 s default; negative disables).
+	StarvationAge time.Duration
+	// PreemptAge is how long a tenant may starve (queued work, nothing
+	// running) before the server preempts a checkpointed command of the
+	// dominant tenant at its last checkpoint boundary. 0 disables
+	// preemption.
+	PreemptAge time.Duration
+	// WALSlowAppend is the store append-latency EWMA at which WAL
+	// backpressure saturates: pressure = AppendLatency/WALSlowAppend,
+	// clamped to [0,1] by the queue. Matching sheds entirely once pressure
+	// reaches the queue's shed threshold. Only meaningful with Store set.
+	// Default 100 ms.
+	WALSlowAppend time.Duration
 	// Store, when set, makes project state durable: every lifecycle
 	// transition is journaled to its write-ahead log before being
 	// acknowledged, and New replays whatever the store recovered (snapshot +
@@ -78,6 +95,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
+	}
+	if c.WALSlowAppend <= 0 {
+		c.WALSlowAppend = 100 * time.Millisecond
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
@@ -105,6 +125,7 @@ type cmdState struct {
 	status       cmdStatus
 	worker       string
 	retries      int
+	preempts     int    // fair-share preemptions; tracked apart from retries
 	checkpoint   []byte // latest partial checkpoint for failover
 	submittedAt  time.Time
 	dispatchedAt time.Time
@@ -115,6 +136,8 @@ type project struct {
 	mu         sync.Mutex
 	name       string
 	ctrl       controller.Controller
+	tenant     string // fair-share account its commands bill to
+	priority   int    // base priority commands inherit when they set none
 	state      string // "running", "finished", "failed"
 	generation int
 	note       string
@@ -150,6 +173,9 @@ type Server struct {
 	projects        map[string]*project
 	workers         map[string]*workerState
 	relayEmptyUntil time.Time
+	// preempted holds command IDs evicted by fair-share preemption whose
+	// old worker has not yet been told to abort (via heartbeat ack).
+	preempted map[string]struct{}
 
 	// closeMu/closing gate goAsync against Close: handlers can still fire
 	// while Close drains, and a WaitGroup must never be Add-ed
@@ -178,6 +204,8 @@ type serverMetrics struct {
 	orphaned        *obs.Counter
 	heartbeats      *obs.Counter
 	heartbeatMisses *obs.Counter
+	preempted       *obs.Counter
+	admissionReject *obs.Counter
 	dispatchLatency *obs.Histogram
 	controllerTime  *obs.Histogram
 	resultBytes     *obs.Histogram
@@ -210,6 +238,10 @@ func newServerMetrics(o *obs.Obs, nodeID string) serverMetrics {
 			"Worker heartbeats received.", node),
 		heartbeatMisses: m.Counter("copernicus_heartbeat_misses_total",
 			"Workers declared dead after missing two heartbeat intervals.", node),
+		preempted: m.Counter("copernicus_preemptions_total",
+			"Running commands preempted at a checkpoint boundary for a starved tenant.", node),
+		admissionReject: m.Counter("copernicus_submit_rejects_total",
+			"Project submissions refused by admission control (quota, shed, deadline).", node),
 		dispatchLatency: m.Histogram("copernicus_dispatch_latency_seconds",
 			"Queue wait between command submission and worker assignment.",
 			dispatchBuckets, node),
@@ -225,16 +257,27 @@ func newServerMetrics(o *obs.Obs, nodeID string) serverMetrics {
 // monitor.
 func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 	cfg.fill()
+	qcfg := queue.Config{
+		StarvationAge:  cfg.StarvationAge,
+		MaxQueuedTotal: cfg.MaxQueuedTotal,
+	}
+	if cfg.Store != nil {
+		// WAL-aware backpressure: the store's append-latency EWMA, normalised
+		// by the slow-append threshold, throttles matching and admission.
+		st, slow := cfg.Store, cfg.WALSlowAppend.Seconds()
+		qcfg.Pressure = func() float64 { return st.AppendLatency() / slow }
+	}
 	s := &Server{
-		node:     node,
-		reg:      reg,
-		cfg:      cfg,
-		q:        queue.New(),
-		log:      cfg.Obs.Log.Named("server").With("node", node.ID()),
-		met:      newServerMetrics(cfg.Obs, node.ID()),
-		projects: make(map[string]*project),
-		workers:  make(map[string]*workerState),
-		stop:     make(chan struct{}),
+		node:      node,
+		reg:       reg,
+		cfg:       cfg,
+		q:         queue.NewWithConfig(qcfg),
+		log:       cfg.Obs.Log.Named("server").With("node", node.ID()),
+		met:       newServerMetrics(cfg.Obs, node.ID()),
+		projects:  make(map[string]*project),
+		workers:   make(map[string]*workerState),
+		preempted: make(map[string]struct{}),
+		stop:      make(chan struct{}),
 	}
 	s.rpol = cfg.Retry
 	s.rpol.Scope = node.ID()
@@ -266,6 +309,9 @@ func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 	node.Handle(wire.MsgHeartbeat, s.handleHeartbeat)
 	node.Handle(wire.MsgStatus, s.handleStatus)
 	node.Handle(wire.MsgWorkerFailed, s.handleWorkerFailed)
+	node.Handle(wire.MsgTenantList, s.handleTenantList)
+	node.Handle(wire.MsgTenantQuotaGet, s.handleTenantQuotaGet)
+	node.Handle(wire.MsgTenantQuotaSet, s.handleTenantQuotaSet)
 	node.Handle(wire.MsgPing, func(_ string, p []byte) ([]byte, error) { return p, nil })
 	s.wg.Add(1)
 	go s.monitorHeartbeats()
@@ -312,7 +358,11 @@ func (s *Server) goAsync(f func()) bool {
 
 // --- project lifecycle ---
 
-// handleSubmit creates a project and runs its controller's Start handler.
+// handleSubmit admits a project through the tenant's quotas and the WAL
+// backpressure shed, creates it, and runs its controller's Start handler.
+// Rejections carry typed retry classes: wire.ErrAdmissionShed (retryable —
+// back off and resubmit) or wire.ErrQuotaExceeded (terminal until the
+// tenant's quota or usage changes).
 func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 	var sub wire.ProjectSubmit
 	if err := wire.Unmarshal(payload, &sub); err != nil {
@@ -321,6 +371,19 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 	if sub.Name == "" {
 		return nil, fmt.Errorf("server: project needs a name")
 	}
+	now := time.Now()
+	if sub.DeadlineUnixNano != 0 && now.UnixNano() > sub.DeadlineUnixNano {
+		// The client has already given up on this attempt; refuse instead of
+		// starting work nobody is waiting for. Retryable: a fresh attempt
+		// carries a fresh deadline.
+		s.met.admissionReject.Inc()
+		return nil, fmt.Errorf("server: project %q arrived %.1fs after its submit deadline: %w",
+			sub.Name, time.Duration(now.UnixNano()-sub.DeadlineUnixNano).Seconds(), wire.ErrAdmissionShed)
+	}
+	if err := s.q.CheckStorage(sub.Tenant, int64(len(sub.Params))); err != nil {
+		s.met.admissionReject.Inc()
+		return nil, fmt.Errorf("server: admitting project %q: %w", sub.Name, err)
+	}
 	ctrl, err := s.reg.New(sub.Controller)
 	if err != nil {
 		return nil, err
@@ -328,6 +391,8 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 	p := &project{
 		name:     sub.Name,
 		ctrl:     ctrl,
+		tenant:   sub.Tenant,
+		priority: sub.Priority,
 		state:    "running",
 		commands: make(map[string]*cmdState),
 		done:     make(chan struct{}),
@@ -350,17 +415,46 @@ func (s *Server) handleSubmit(from string, payload []byte) ([]byte, error) {
 	}
 	s.projects[sub.Name] = p
 	s.mu.Unlock()
-	s.journal(store.Record{Type: store.RecProjectSubmitted,
-		Project: sub.Name, Note: sub.Controller, Data: sub.Params})
 
+	// Start before journaling the submission: if the controller's first
+	// submits are bounced by admission control, the project is withdrawn
+	// entirely — nothing durable, the name reusable by the client's retry.
+	// Records the controller journals during Start (command queued,
+	// generation) land before RecProjectSubmitted in the WAL; replay drops
+	// them (no project yet) and re-derives them by re-running the
+	// deterministic Start.
 	if err := ctrl.Start(s.contextFor(p), sub.Params); err != nil {
+		if errors.Is(err, wire.ErrQuotaExceeded) || errors.Is(err, wire.ErrAdmissionShed) {
+			for id := range p.commands {
+				if !s.q.Remove(id) {
+					// A concurrent announce already dispatched it; settle the
+					// in-flight charge — the result will find no project.
+					s.q.Release(id, 0)
+				}
+			}
+			s.mu.Lock()
+			delete(s.projects, sub.Name)
+			s.mu.Unlock()
+			s.met.admissionReject.Inc()
+			return nil, fmt.Errorf("server: admitting project %q: %w", sub.Name, err)
+		}
+		s.journal(store.Record{Type: store.RecProjectSubmitted, Project: sub.Name,
+			Tenant: sub.Tenant, Count: sub.Priority, Note: sub.Controller, Data: sub.Params})
 		p.state = "failed"
 		p.failErr = err.Error()
 		close(p.done)
 		return nil, fmt.Errorf("server: starting project %q: %w", sub.Name, err)
 	}
-	s.log.Info("project started", "project", sub.Name, "controller", sub.Controller)
-	return wire.Marshal(&wire.ProjectStatus{Name: sub.Name, State: p.state})
+	s.journal(store.Record{Type: store.RecProjectSubmitted, Project: sub.Name,
+		Tenant: sub.Tenant, Count: sub.Priority, Note: sub.Controller, Data: sub.Params})
+	s.log.Info("project started", "project", sub.Name,
+		"controller", sub.Controller, "tenant", sub.Tenant)
+	return wire.Marshal(&wire.SubmitReceipt{
+		Project:          sub.Name,
+		Tenant:           sub.Tenant,
+		Server:           s.node.ID(),
+		AcceptedUnixNano: now.UnixNano(),
+	})
 }
 
 // seedFromName derives a stable project seed.
@@ -426,6 +520,7 @@ func (s *Server) statusLocked(p *project) wire.ProjectStatus {
 	st := wire.ProjectStatus{
 		Name:       p.name,
 		Controller: p.ctrl.Name(),
+		Tenant:     p.tenant,
 		State:      p.state,
 		Generation: p.generation,
 		Note:       p.note,
@@ -480,6 +575,10 @@ func (c *ctxImpl) Logf(format string, args ...any) {
 func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
 	cmd.Project = c.p.name
 	cmd.Origin = c.s.node.ID()
+	cmd.Tenant = c.p.tenant
+	if cmd.Priority == 0 {
+		cmd.Priority = c.p.priority
+	}
 	if err := cmd.Validate(); err != nil {
 		return err
 	}
@@ -492,9 +591,12 @@ func (c *ctxImpl) Submit(cmd wire.CommandSpec) error {
 		c.p.commands[cmd.ID] = &cmdState{spec: cmd, status: cmdQueued, submittedAt: time.Now()}
 		return nil
 	}
+	if err := c.s.q.CheckStorage(cmd.Tenant, int64(len(cmd.Payload))); err != nil {
+		return fmt.Errorf("server: submitting command %q: %w", cmd.ID, err)
+	}
 	if data, err := wire.Marshal(&cmd); err == nil {
 		c.s.journal(store.Record{Type: store.RecCommandQueued,
-			Project: c.p.name, Command: cmd.ID, Data: data})
+			Project: c.p.name, Command: cmd.ID, Tenant: cmd.Tenant, Data: data})
 	}
 	if err := c.s.q.Push(cmd); err != nil {
 		return err
@@ -516,8 +618,13 @@ func (c *ctxImpl) Terminate(id string) bool {
 	if !ok {
 		return false
 	}
-	if cs.status == cmdQueued {
+	switch cs.status {
+	case cmdQueued:
 		c.s.q.Remove(id)
+	case cmdRunning:
+		// Settle the fair-share in-flight charge now; the worker is told to
+		// abort at its next heartbeat and sends no result.
+		c.s.q.Release(id, 0)
 	}
 	cs.status = cmdTerminated
 	return true
@@ -771,13 +878,16 @@ func (s *Server) handleResult(from string, payload []byte) ([]byte, error) {
 	s.maybeSnapshot()
 	if settledWorker != "" {
 		// The command is settled: drop it from the worker's assignment record
-		// so its next idle announce is not mistaken for an orphaned workload.
+		// so its next idle announce is not mistaken for an orphaned workload,
+		// and from the preemption abort set (a preempted command whose old
+		// worker finished before the abort reached it lands here).
 		// Done outside the project lock (reapDeadWorkers and recoverCommands
 		// nest p.mu inside s.mu, so the reverse order here would deadlock).
 		s.mu.Lock()
 		if ws := s.workers[settledWorker]; ws != nil {
 			delete(ws.commands, res.CommandID)
 		}
+		delete(s.preempted, res.CommandID)
 		s.mu.Unlock()
 	}
 	return reply, err
@@ -825,6 +935,15 @@ func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte
 	}
 	cs.status = cmdDone
 	p.finished++
+	// Settle the fair-share charge with the measured wall time and bill the
+	// retained output against the tenant's storage account. Both are no-ops
+	// during replay's queued-state reconstruction (nothing is in flight) —
+	// except ChargeStorage, which deliberately runs so tail results
+	// re-accrue usage on top of the snapshot's tenant image.
+	s.q.Release(res.CommandID, res.WallSeconds)
+	if len(res.Output) > 0 {
+		s.q.ChargeStorage(cs.spec.Tenant, int64(len(res.Output)))
+	}
 	if !s.replaying.Load() {
 		s.met.finished.Inc()
 		s.met.resultBytes.Observe(float64(len(res.Output)))
@@ -890,6 +1009,17 @@ func (s *Server) handleHeartbeat(from string, payload []byte) ([]byte, error) {
 	var ack wire.HeartbeatAck
 	for _, id := range hb.CommandIDs {
 		s.mu.Lock()
+		if _, evicted := s.preempted[id]; evicted {
+			// Preempted for a starved tenant: the command was requeued from
+			// its checkpoint, so the old worker must stop burning cores on it.
+			delete(s.preempted, id)
+			if ws := s.workers[hb.WorkerID]; ws != nil {
+				delete(ws.commands, id)
+			}
+			s.mu.Unlock()
+			ack.AbortCommandIDs = append(ack.AbortCommandIDs, id)
+			continue
+		}
 		var owner *project
 		for _, p := range s.projects {
 			p.mu.Lock()
@@ -921,6 +1051,7 @@ func (s *Server) monitorHeartbeats() {
 			return
 		case <-tick.C:
 			s.reapDeadWorkers()
+			s.preemptForStarved()
 		}
 	}
 }
@@ -952,6 +1083,77 @@ func (s *Server) reapDeadWorkers() {
 		s.log.Warn("worker missed heartbeats, recovering commands",
 			"worker", v.id, "commands", len(v.commands))
 		s.reportFailed(v.id, v.commands)
+	}
+}
+
+// preemptForStarved evicts one running command at its last checkpoint
+// boundary when a tenant has starved past cfg.PreemptAge (queued work,
+// nothing running) while another tenant dominates the fleet's cores. The
+// victim is the dominant tenant's checkpointed command: it is requeued from
+// its checkpoint (losing only the work since), its old worker is told to
+// abort at the next heartbeat, and the freed cores let the starved tenant's
+// fair-share turn come up. At most one command is preempted per monitor
+// tick, so a single starved tenant cannot mass-evict the fleet.
+func (s *Server) preemptForStarved() {
+	if s.cfg.PreemptAge <= 0 {
+		return
+	}
+	starved, ok := s.q.Starved(s.cfg.PreemptAge)
+	if !ok {
+		return
+	}
+	victim, cores, ok := s.q.DominantTenant(starved)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	candidates := make([]*project, 0, len(s.projects))
+	for _, p := range s.projects {
+		candidates = append(candidates, p)
+	}
+	s.mu.Unlock()
+	for _, p := range candidates {
+		p.mu.Lock()
+		if p.tenant != victim || p.state != "running" {
+			p.mu.Unlock()
+			continue
+		}
+		for id, cs := range p.commands {
+			// Only checkpointed commands are evictable: preempting without a
+			// checkpoint would throw away the whole run, which is worse for
+			// the fleet than letting the starved tenant wait one more tick.
+			if cs.status != cmdRunning || len(cs.checkpoint) == 0 {
+				continue
+			}
+			worker := cs.worker
+			cs.preempts++
+			s.q.Release(id, 0)
+			spec := cs.spec
+			spec.Checkpoint = cs.checkpoint
+			cs.status = cmdQueued
+			cs.worker = ""
+			s.journal(store.Record{Type: store.RecCommandPreempted,
+				Project: p.name, Command: id, Worker: worker,
+				Tenant: p.tenant, Count: cs.preempts})
+			if err := s.q.Requeue(spec); err != nil {
+				s.log.Error("requeueing preempted command failed", "cmd", id, "err", err)
+				p.mu.Unlock()
+				return
+			}
+			cs.submittedAt = time.Now()
+			cs.dispatchedAt = time.Time{}
+			s.met.preempted.Inc()
+			s.log.Info("preempted command at checkpoint boundary for starved tenant",
+				"cmd", id, "victim_tenant", victim, "victim_cores", cores,
+				"starved_tenant", starved, "worker", worker,
+				"checkpoint_bytes", len(cs.checkpoint))
+			p.mu.Unlock()
+			s.mu.Lock()
+			s.preempted[id] = struct{}{}
+			s.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -988,6 +1190,50 @@ func (s *Server) reportFailed(workerID string, commands map[string]string) {
 			s.log.Error("reporting worker failure upstream failed", "origin", origin, "err", err)
 		}
 	}
+}
+
+// --- tenant administration ---
+
+// handleTenantList serves the tenant accounts the scheduler knows about.
+func (s *Server) handleTenantList(from string, payload []byte) ([]byte, error) {
+	var req wire.TenantListRequest
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	return wire.Marshal(&wire.TenantList{Tenants: s.q.Tenants()})
+}
+
+// handleTenantQuotaGet serves one tenant's weight, quotas and usage. A
+// tenant the scheduler has never seen reports the defaults it would get.
+func (s *Server) handleTenantQuotaGet(from string, payload []byte) ([]byte, error) {
+	var req wire.TenantQuotaRequest
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	st, ok := s.q.Tenant(req.Tenant)
+	if !ok {
+		st = wire.TenantStatus{ID: req.Tenant, Weight: 1}
+	}
+	return wire.Marshal(&st)
+}
+
+// handleTenantQuotaSet applies a weight/quota update, journals it so it
+// survives restarts and ships to standbys, and returns the new status.
+func (s *Server) handleTenantQuotaSet(from string, payload []byte) ([]byte, error) {
+	var upd wire.TenantQuotaUpdate
+	if err := wire.Unmarshal(payload, &upd); err != nil {
+		return nil, err
+	}
+	if upd.Tenant == "" {
+		return nil, fmt.Errorf("server: tenant quota update needs a tenant ID")
+	}
+	st := s.q.SetQuota(upd)
+	if data, err := wire.Marshal(&upd); err == nil {
+		s.journal(store.Record{Type: store.RecTenantQuota, Tenant: upd.Tenant, Data: data})
+	}
+	s.log.Info("tenant quota updated", "tenant", upd.Tenant, "weight", st.Weight,
+		"max_queued", st.MaxQueued, "max_cores", st.MaxCores, "max_storage_bytes", st.MaxStorageBytes)
+	return wire.Marshal(&st)
 }
 
 // handleWorkerFailed receives failure reports from relay servers.
@@ -1027,6 +1273,8 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 			owner.mu.Unlock()
 			continue
 		}
+		// The dead worker's partial run still billed the tenant's fair share.
+		s.q.Release(cmdID, 0)
 		if cs.retries < s.cfg.MaxRetries {
 			cs.retries++
 			spec := cs.spec
@@ -1035,7 +1283,7 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 			cs.worker = ""
 			s.journal(store.Record{Type: store.RecCommandRequeued,
 				Project: owner.name, Command: cmdID, Worker: wf.WorkerID, Count: cs.retries})
-			if err := s.q.Push(spec); err != nil {
+			if err := s.q.Requeue(spec); err != nil {
 				s.log.Error("requeueing recovered command failed", "cmd", cmdID, "err", err)
 			} else {
 				cs.submittedAt = time.Now()

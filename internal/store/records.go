@@ -35,6 +35,15 @@ const (
 	RecProjectFinished
 	// RecProjectFailed aborts a project; Note carries the error.
 	RecProjectFailed
+	// RecTenantQuota records a tenant's weight/quota configuration; Data
+	// holds the wire.TenantQuotaUpdate. Replayed so quota changes survive
+	// restarts and ship to standbys.
+	RecTenantQuota
+	// RecCommandPreempted returns a running command to the queue because the
+	// fair-share scheduler evicted it at a checkpoint boundary for a starved
+	// tenant; Count carries the preemption tally. Distinct from
+	// RecCommandRequeued so preemptions never consume failure retries.
+	RecCommandPreempted
 )
 
 // String returns the record type's stable wire name (used by state inspect).
@@ -60,6 +69,10 @@ func (t RecordType) String() string {
 		return "project_finished"
 	case RecProjectFailed:
 		return "project_failed"
+	case RecTenantQuota:
+		return "tenant_quota"
+	case RecCommandPreempted:
+		return "command_preempted"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -82,9 +95,14 @@ type Record struct {
 	Command string
 	// Worker is the worker ID for assignment events.
 	Worker string
+	// Tenant is the owning tenant for tenant-scoped events (project
+	// submission, quota updates). Decodes as "" from pre-tenant WALs.
+	Tenant string
 	// Generation is the new generation for RecGeneration records.
 	Generation int
-	// Count carries the retry tally for RecCommandRequeued records.
+	// Count carries the retry tally for RecCommandRequeued, the preemption
+	// tally for RecCommandPreempted, and the project base priority for
+	// RecProjectSubmitted.
 	Count int
 	// Note is free text: controller name on submit, status note on
 	// generation advance, failure reason on failure records.
@@ -107,6 +125,10 @@ type CommandSnap struct {
 type ProjectSnap struct {
 	Name       string
 	Controller string
+	// Tenant and Priority are the multi-tenant fields; both decode as zero
+	// values from pre-tenant snapshots.
+	Tenant     string
+	Priority   int
 	State      string
 	Generation int
 	Note       string
@@ -132,4 +154,7 @@ type Snapshot struct {
 	// at or below this value.
 	LastSeq  uint64
 	Projects []ProjectSnap
+	// Tenants carries the configured tenant accounts (weights and quotas);
+	// nil in pre-tenant snapshots.
+	Tenants []wire.TenantStatus
 }

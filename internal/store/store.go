@@ -141,6 +141,12 @@ type Store struct {
 
 	recovered *Recovered
 
+	// latMu guards latEWMA, the moving average behind AppendLatency. A
+	// separate mutex so readers (the scheduler's Match hot path) never
+	// contend with an in-flight fsync holding s.mu.
+	latMu   sync.Mutex
+	latEWMA float64
+
 	kick chan struct{}
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -335,12 +341,39 @@ func (s *Store) Append(rec Record) error {
 	default: // a kick is already queued; the syncer will pick us up
 	}
 	err = <-done
-	s.met.appendWait.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	s.met.appendWait.Observe(elapsed)
+	s.observeAppendLatency(elapsed)
 	if err != nil {
 		s.met.walErrors.Inc()
 		return fmt.Errorf("store: fsync covering record %d: %w", rec.Seq, err)
 	}
 	return nil
+}
+
+// AppendLatency returns an exponentially-weighted moving average of recent
+// Append latencies in seconds, including the group-commit fsync wait. The
+// scheduler feeds it into queue.Match as a backpressure signal, so a slow
+// WAL disk throttles new assignment instead of growing the in-flight window
+// (every assignment costs a journaled record). Zero until the first append.
+func (s *Store) AppendLatency() float64 {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	return s.latEWMA
+}
+
+// observeAppendLatency folds one append's latency into the EWMA. Alpha 0.2
+// reacts to a disk going slow within a handful of appends while smoothing
+// over a single unlucky fsync.
+func (s *Store) observeAppendLatency(sec float64) {
+	s.latMu.Lock()
+	if s.latEWMA == 0 {
+		s.latEWMA = sec
+	} else {
+		const alpha = 0.2
+		s.latEWMA = alpha*sec + (1-alpha)*s.latEWMA
+	}
+	s.latMu.Unlock()
 }
 
 // syncLoop is the group-commit engine: one fsync per batch of waiters.

@@ -18,13 +18,22 @@ import (
 	"io"
 )
 
-// ProtocolVersion guards against mixed-version overlays.
-const ProtocolVersion = 1
+// ProtocolVersion guards against mixed-version overlays. Version 2 added
+// tenant identity, admission-control error codes and the tenant admin
+// messages; v2 payload structs still decode v1 frames (gob leaves the new
+// fields at their zero values), but the hello/join handshake refuses a
+// version-skewed peer with ErrProtoVersion so an old node fails cleanly
+// instead of mis-decoding newer control messages.
+const ProtocolVersion = 2
 
-// ErrVersionMismatch is the sentinel for cross-version envelope rejection;
-// match it with errors.Is. The concrete error is a *VersionError carrying
-// both versions.
-var ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+// ErrProtoVersion is the sentinel for cross-version handshake and envelope
+// rejection; match it with errors.Is. The concrete error is a *VersionError
+// carrying both versions.
+var ErrProtoVersion = errors.New("wire: protocol version mismatch")
+
+// ErrVersionMismatch is the historical name of ErrProtoVersion, kept so
+// existing errors.Is call sites keep matching.
+var ErrVersionMismatch = ErrProtoVersion
 
 // VersionError reports an envelope whose protocol version differs from this
 // node's. It is returned during the overlay handshake (and any later read)
@@ -37,8 +46,60 @@ func (e *VersionError) Error() string {
 	return fmt.Sprintf("wire: protocol version %d, want %d", e.Got, e.Want)
 }
 
-// Is makes errors.Is(err, ErrVersionMismatch) succeed for VersionErrors.
-func (e *VersionError) Is(target error) bool { return target == ErrVersionMismatch }
+// Is makes errors.Is(err, ErrProtoVersion) succeed for VersionErrors.
+func (e *VersionError) Is(target error) bool { return target == ErrProtoVersion }
+
+// Admission-control sentinels. Server-side admission and quota enforcement
+// return errors carrying one of the ErrCode* codes across the overlay; the
+// requesting side maps the code back to these sentinels so retry policies
+// can distinguish a terminal quota breach (resubmitting cannot help until an
+// operator raises the quota) from load shedding (retry with backoff is the
+// correct response).
+var (
+	// ErrQuotaExceeded is terminal: the tenant is over a configured quota.
+	ErrQuotaExceeded = errors.New("wire: tenant quota exceeded")
+	// ErrAdmissionShed is retryable: the server shed the request under load.
+	ErrAdmissionShed = errors.New("wire: admission control shed request, retry later")
+)
+
+// Error codes carried in Envelope.ErrCode. Part of the wire contract; never
+// rename, only append.
+const (
+	ErrCodeQuota        = "quota_exceeded"
+	ErrCodeShed         = "admission_shed"
+	ErrCodeProtoVersion = "proto_version"
+)
+
+// CodeOf maps an error to its wire code ("" for uncoded errors). Servers
+// call it when building an error reply.
+func CodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQuotaExceeded):
+		return ErrCodeQuota
+	case errors.Is(err, ErrAdmissionShed):
+		return ErrCodeShed
+	case errors.Is(err, ErrProtoVersion):
+		return ErrCodeProtoVersion
+	}
+	return ""
+}
+
+// SentinelFor maps a wire error code back to its sentinel (nil for unknown
+// codes). Requesters use it to rebuild errors.Is-matchable errors from
+// replies.
+func SentinelFor(code string) error {
+	switch code {
+	case ErrCodeQuota:
+		return ErrQuotaExceeded
+	case ErrCodeShed:
+		return ErrAdmissionShed
+	case ErrCodeProtoVersion:
+		return ErrProtoVersion
+	}
+	return nil
+}
 
 // MaxFrameBytes bounds a single frame; anything larger is rejected as
 // corrupt rather than allocated blindly.
@@ -77,6 +138,16 @@ const (
 	// MsgPromoted announces that a standby has promoted itself and now owns
 	// the projects previously served by its fenced primary (Promoted).
 	MsgPromoted MsgType = "promoted"
+	// MsgTenantList asks a server for every tenant it tracks
+	// (TenantListRequest → TenantList).
+	MsgTenantList MsgType = "tenantlist"
+	// MsgTenantQuotaGet queries one tenant's weight, quotas and usage
+	// (TenantQuotaRequest → TenantStatus).
+	MsgTenantQuotaGet MsgType = "tenantquotaget"
+	// MsgTenantQuotaSet configures a tenant's weight and quotas
+	// (TenantQuotaUpdate → TenantStatus). The change is journaled on durable
+	// servers, so it survives restarts and ships to standbys.
+	MsgTenantQuotaSet MsgType = "tenantquotaset"
 )
 
 // Envelope is the routed unit: a typed request or response addressed to a
@@ -90,6 +161,11 @@ type Envelope struct {
 	TTL       int
 	Payload   []byte
 	Err       string // non-empty on error replies
+	// ErrCode carries a machine-readable error class (ErrCode* constants)
+	// alongside Err, so requesters can map remote failures back to the
+	// ErrQuotaExceeded/ErrAdmissionShed sentinels. Decodes as "" from
+	// pre-tenant frames.
+	ErrCode string
 }
 
 // CommandSpec describes one simulation command: the unit of work a worker
@@ -99,6 +175,10 @@ type Envelope struct {
 type CommandSpec struct {
 	ID      string
 	Project string
+	// Tenant is the owning tenant, inherited from the project at submit
+	// time; the fair-share scheduler partitions core time by it. Decodes as
+	// "" (the default tenant) from pre-tenant frames.
+	Tenant string
 	// Origin is the node ID of the project-holding server; workers route
 	// results there through the overlay.
 	Origin     string
@@ -206,11 +286,33 @@ type WorkerFailed struct {
 	CommandIDs []string
 }
 
-// ProjectSubmit creates a project on the receiving server.
+// ProjectSubmit creates a project on the receiving server. Tenant, Priority
+// and Deadline are the multi-tenant control-plane fields added in protocol
+// v2; all three decode as zero values from pre-tenant frames.
 type ProjectSubmit struct {
 	Name       string
 	Controller string // controller plugin name
 	Params     []byte // controller-specific configuration
+	// Tenant bills the project's commands to this tenant's fair-share
+	// account and quotas ("" = the default tenant).
+	Tenant string
+	// Priority is the base priority commands inherit when the controller
+	// does not set one itself.
+	Priority int
+	// DeadlineUnixNano, when non-zero, is the client's submission deadline:
+	// a server admitting the project after this instant rejects it instead
+	// of starting work the client has given up on.
+	DeadlineUnixNano int64
+}
+
+// SubmitReceipt acknowledges an admitted project submission.
+type SubmitReceipt struct {
+	Project string
+	Tenant  string
+	// Server is the node ID of the admitting project server.
+	Server string
+	// AcceptedUnixNano is the server-side admission timestamp.
+	AcceptedUnixNano int64
 }
 
 // ProjectStatusRequest queries one project by name.
@@ -222,6 +324,7 @@ type ProjectStatusRequest struct {
 type ProjectStatus struct {
 	Name       string
 	Controller string
+	Tenant     string
 	State      string
 	Queued     int
 	Running    int
@@ -287,6 +390,50 @@ type Promoted struct {
 	NodeID   string
 	Epoch    uint64
 	Projects []string
+}
+
+// TenantStatus is one tenant's scheduler account: configuration (weight and
+// quotas; zero quota fields mean unlimited) plus live usage, served by the
+// tenant admin messages and embedded in durable snapshots.
+type TenantStatus struct {
+	ID     string
+	Weight float64
+	// Quotas (0 = unlimited).
+	MaxQueued       int
+	MaxCores        int
+	MaxStorageBytes int64
+	// Usage.
+	Queued        int
+	InflightCores int
+	CoreSeconds   float64
+	StorageBytes  int64
+	// OldestWaitSeconds is how long the tenant's oldest queued command has
+	// been waiting (0 when nothing is queued).
+	OldestWaitSeconds float64
+}
+
+// TenantListRequest asks for all tenant accounts.
+type TenantListRequest struct{}
+
+// TenantList is the reply to MsgTenantList.
+type TenantList struct {
+	Tenants []TenantStatus
+}
+
+// TenantQuotaRequest queries one tenant by ID.
+type TenantQuotaRequest struct {
+	Tenant string
+}
+
+// TenantQuotaUpdate configures a tenant's scheduling weight and quotas.
+// Weight <= 0 keeps the current weight; negative quota fields keep the
+// current value, zero clears (unlimited).
+type TenantQuotaUpdate struct {
+	Tenant          string
+	Weight          float64
+	MaxQueued       int
+	MaxCores        int
+	MaxStorageBytes int64
 }
 
 // Marshal gob-encodes a payload struct.

@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race chaos crash failover tenants ci bench fmt
+.PHONY: all build vet test race chaos crash failover tenants repex ci bench fmt
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/server/... \
 		./internal/worker/... ./internal/queue/... ./internal/overlay/... \
-		./internal/store/... ./internal/store/replica/...
+		./internal/store/... ./internal/store/replica/... ./internal/repex/...
 
 # Chaos soak: the MSM pipeline completing under seeded fault injection
 # (25% dropped writes, partial frames, a forced full partition) — see
@@ -45,6 +45,12 @@ failover:
 # slow-fsync WAL fault window — see docs/SCHEDULING.md.
 tenants:
 	$(GO) test -race -run 'TestMultiTenantScenario|TestTenantScenario' -v -timeout 300s ./internal/des/
+
+# The replica-exchange scheduling scenario: sync vs async REMD ladders
+# against the real gang-scheduling queue, with a worker-churn fault
+# window — see docs/SCHEDULING.md ("Gang scheduling").
+repex:
+	$(GO) test -race -run TestRepexDES -v -timeout 300s ./internal/des/
 
 ci:
 	sh scripts/ci.sh

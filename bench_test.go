@@ -283,7 +283,7 @@ func TestPublicAPISurface(t *testing.T) {
 		t.Errorf("tres(1) = %v", ref)
 	}
 	reg := DefaultControllerRegistry()
-	if got := len(reg.Names()); got != 2 {
+	if got := len(reg.Names()); got != 3 {
 		t.Errorf("bundled controllers = %d", got)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	cpcctl -server host:7770 submit -name myrun -controller msm [-tenant T] [-priority N] [-deadline D] [flags]
 //	cpcctl -server host:7770 status -name myrun [-watch]
+//	cpcctl -server host:7770 repex stats -name myrun
 //	cpcctl -server host:7770 tenant list
 //	cpcctl -server host:7770 tenant quota get -tenant T
 //	cpcctl -server host:7770 tenant quota set -tenant T [-weight W] [-max-queued N] [-max-cores N] [-max-storage-bytes N]
@@ -15,6 +16,11 @@
 //
 //	msm: -generations -clusters -starts -tasks -segment-ns -weighting
 //	bar: -windows -samples -target-stderr -delta-f
+//	repex: -replicas -t-min -t-max -mode -segment-steps -epochs
+//
+// A sync-mode repex project submits each exchange epoch as one
+// gang-scheduled command group; `repex stats` prints the ladder's live
+// per-pair exchange acceptance rates from the server's status detail.
 //
 // Flag names are kebab-case (`-state-dir` style). `-deltaf` remains as a
 // deprecated alias for `-delta-f`.
@@ -79,6 +85,8 @@ func main() {
 		submit(cl, flag.Args()[1:])
 	case "status":
 		status(cl, flag.Args()[1:])
+	case "repex":
+		repexCmd(cl, flag.Args()[1:])
 	case "tenant":
 		tenantCmd(cl, flag.Args()[1:])
 	default:
@@ -120,7 +128,7 @@ func stateCmd(args []string) {
 func submit(cl *client.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	name := fs.String("name", "", "project name (required)")
-	ctrl := fs.String("controller", "msm", "controller plugin: msm or bar")
+	ctrl := fs.String("controller", "msm", "controller plugin: msm, bar or repex")
 	// MSM flags.
 	generations := fs.Int("generations", 8, "msm: clustering generations")
 	clusters := fs.Int("clusters", 1000, "msm: microstate count")
@@ -134,6 +142,13 @@ func submit(cl *client.Client, args []string) {
 	target := fs.Float64("target-stderr", 0.05, "bar: stop at this total error (kT)")
 	deltaf := fs.Float64("delta-f", 3.0, "bar: exact ΔF of the synthetic system (kT)")
 	fs.Float64Var(deltaf, "deltaf", 3.0, "deprecated alias for -delta-f")
+	// Repex flags.
+	replicas := fs.Int("replicas", 8, "repex: temperature-ladder rungs")
+	tMin := fs.Float64("t-min", 100, "repex: ladder bottom temperature (K)")
+	tMax := fs.Float64("t-max", 200, "repex: ladder top temperature (K)")
+	mode := fs.String("mode", "sync", "repex: exchange pattern, sync (gang-scheduled epochs) or async")
+	segSteps := fs.Int("segment-steps", 40, "repex: MD steps between exchange attempts")
+	epochs := fs.Int("epochs", 4, "repex: segments per rung")
 	seed := fs.Uint64("seed", 1, "project RNG seed")
 	// Multi-tenant submission flags.
 	tenant := fs.String("tenant", "", "tenant account to bill the project to (empty = default tenant)")
@@ -174,6 +189,16 @@ func submit(cl *client.Client, args []string) {
 		p.Offset = *deltaf
 		p.Seed = *seed
 		params, err = wire.Marshal(&p)
+	case "repex":
+		p := controller.DefaultRepexParams()
+		p.Replicas = *replicas
+		p.TMin = *tMin
+		p.TMax = *tMax
+		p.Mode = *mode
+		p.SegmentSteps = *segSteps
+		p.Epochs = *epochs
+		p.Seed = *seed
+		params, err = wire.Marshal(&p)
 	default:
 		log.Fatalf("cpcctl: unknown controller %q", *ctrl)
 	}
@@ -206,6 +231,56 @@ func submit(cl *client.Client, args []string) {
 	}
 	fmt.Printf("cpcctl: project %q submitted (%s controller, tenant %q) to %s\n",
 		*name, *ctrl, receipt.Tenant, receipt.Server)
+}
+
+// repexCmd handles `repex stats -name X`: it decodes the controller's live
+// status detail into the exchange ladder's per-pair acceptance table.
+func repexCmd(cl *client.Client, args []string) {
+	if len(args) < 1 || args[0] != "stats" {
+		fmt.Fprintln(os.Stderr, "usage: cpcctl repex stats -name NAME")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("repex stats", flag.ExitOnError)
+	name := fs.String("name", "", "project name (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		log.Fatal(err)
+	}
+	if *name == "" {
+		log.Fatal("cpcctl repex stats: -name is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cl.Status(ctx, *name)
+	if err != nil {
+		log.Fatalf("repex stats: %v", err)
+	}
+	if st.Controller != controller.RepexControllerName {
+		log.Fatalf("repex stats: project %q runs controller %q, not %q",
+			*name, st.Controller, controller.RepexControllerName)
+	}
+	if len(st.Detail) == 0 {
+		log.Fatalf("repex stats: no controller detail for %q (server predates repex or project not started)", *name)
+	}
+	var d controller.RepexDetail
+	if err := wire.Unmarshal(st.Detail, &d); err != nil {
+		log.Fatalf("repex stats: decoding detail: %v", err)
+	}
+	fmt.Printf("%s  state=%s mode=%s epoch=%d segments=%d waiting=%d round-trips=%d\n",
+		st.Name, st.State, d.Mode, d.Epoch, d.Segments, d.Waiting, d.RoundTrips)
+	var att, acc uint64
+	for i := range d.Attempts {
+		att += d.Attempts[i]
+		acc += d.Accepts[i]
+		rate := 0.0
+		if d.Attempts[i] > 0 {
+			rate = float64(d.Accepts[i]) / float64(d.Attempts[i])
+		}
+		fmt.Printf("  pair %2d-%-2d  %7.2fK <-> %7.2fK  accepted %d/%d (%.0f%%)\n",
+			i, i+1, d.Temps[i], d.Temps[i+1], d.Accepts[i], d.Attempts[i], 100*rate)
+	}
+	if att > 0 {
+		fmt.Printf("  overall    accepted %d/%d (%.0f%%)\n", acc, att, 100*float64(acc)/float64(att))
+	}
 }
 
 // tenantCmd handles `tenant list`, `tenant quota get` and `tenant quota set`.

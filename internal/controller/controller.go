@@ -64,6 +64,17 @@ type Controller interface {
 	CommandFailed(ctx Context, cmd wire.CommandSpec, reason string) error
 }
 
+// Inspectable is an optional extension: controllers that publish a live,
+// plugin-specific status blob (beyond the generation counter and note)
+// implement it. The server calls Inspect under the same per-project lock as
+// the event handlers and copies the blob into ProjectStatus.Detail, where
+// clients decode it with plugin knowledge — e.g. the repex controller
+// publishes per-pair exchange acceptance statistics this way.
+type Inspectable interface {
+	// Inspect returns an encoded status blob, or an error to omit it.
+	Inspect() ([]byte, error)
+}
+
 // Factory creates a fresh controller instance for one project.
 type Factory func() Controller
 
@@ -119,5 +130,6 @@ func DefaultRegistry() *Registry {
 	r := NewRegistry()
 	r.Register(MSMControllerName, func() Controller { return NewMSMController() })
 	r.Register(BARControllerName, func() Controller { return NewBARController() })
+	r.Register(RepexControllerName, func() Controller { return NewRepexController() })
 	return r
 }

@@ -145,7 +145,7 @@ func TestRegistry(t *testing.T) {
 func TestDefaultRegistryHasBundledPlugins(t *testing.T) {
 	r := DefaultRegistry()
 	names := r.Names()
-	if len(names) != 2 || names[0] != "bar" || names[1] != "msm" {
+	if len(names) != 3 || names[0] != "bar" || names[1] != "msm" || names[2] != "repex" {
 		t.Errorf("bundled controllers = %v", names)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"copernicus/internal/landscape"
+	"copernicus/internal/repex"
 	"copernicus/internal/rng"
 	"copernicus/internal/wire"
 )
@@ -158,6 +159,91 @@ func (c *BARController) SaveState() ([]byte, error) {
 		})
 	}
 	return wire.Marshal(&st)
+}
+
+// repexRungState mirrors repexRung for gob.
+type repexRungState struct {
+	State     []byte
+	Potential float64
+	Segs      int
+	Waiting   bool
+	Retired   bool
+}
+
+// repexState mirrors RepexController's resumable fields for gob. The
+// exchange ladder — temperatures, RNG, acceptance statistics, walker
+// positions, boundary states — must survive failover bitwise so a
+// promoted standby continues the exact exchange stream the primary would
+// have produced.
+type repexState struct {
+	P        RepexParams
+	Rand     []byte
+	Temps    []float64
+	Rungs    []repexRungState
+	Stats    repex.Stats
+	InFlight map[string]int
+	Epoch    int
+	GangSeq  int
+	NextCmd  int
+	SegsRun  int
+}
+
+// SaveState implements Durable.
+func (c *RepexController) SaveState() ([]byte, error) {
+	randState, err := c.rand.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("repex controller: rng state: %w", err)
+	}
+	st := repexState{
+		P:        c.p,
+		Rand:     randState,
+		Temps:    c.temps,
+		Stats:    *c.stats,
+		InFlight: c.inFlight,
+		Epoch:    c.epoch,
+		GangSeq:  c.gangSeq,
+		NextCmd:  c.nextCmd,
+		SegsRun:  c.segsRun,
+	}
+	for _, rung := range c.rungs {
+		st.Rungs = append(st.Rungs, repexRungState{
+			State: rung.state, Potential: rung.potential,
+			Segs: rung.segs, Waiting: rung.waiting, Retired: rung.retired,
+		})
+	}
+	return wire.Marshal(&st)
+}
+
+// RestoreState implements Durable.
+func (c *RepexController) RestoreState(data []byte) error {
+	var st repexState
+	if err := wire.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("repex controller: decoding state: %w", err)
+	}
+	c.p = st.P
+	c.rand = rng.New(0)
+	if err := c.rand.UnmarshalBinary(st.Rand); err != nil {
+		return fmt.Errorf("repex controller: rng state: %w", err)
+	}
+	c.temps = st.Temps
+	stats := st.Stats
+	c.stats = &stats
+	c.rungs = c.rungs[:0]
+	for _, rs := range st.Rungs {
+		c.rungs = append(c.rungs, &repexRung{
+			state: rs.State, potential: rs.Potential,
+			segs: rs.Segs, waiting: rs.Waiting, retired: rs.Retired,
+		})
+	}
+	c.inFlight = st.InFlight
+	if c.inFlight == nil {
+		c.inFlight = make(map[string]int)
+	}
+	c.epoch = st.Epoch
+	c.gangSeq = st.GangSeq
+	c.nextCmd = st.NextCmd
+	c.segsRun = st.SegsRun
+	return nil
 }
 
 // RestoreState implements Durable.

@@ -1,0 +1,529 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"copernicus/internal/engines"
+	"copernicus/internal/md"
+	"copernicus/internal/obs"
+	"copernicus/internal/repex"
+	"copernicus/internal/rng"
+	"copernicus/internal/wire"
+)
+
+// RepexControllerName is the registry name of the replica-exchange plugin.
+const RepexControllerName = "repex"
+
+// RepexParams configures a temperature-ladder REMD project: Replicas rungs
+// geometrically spaced over [TMin, TMax], each running segments of
+// SegmentSteps MD steps with Metropolis exchange attempts between
+// neighbouring rungs at segment boundaries, for Epochs segments per rung.
+//
+// Mode selects the exchange pattern (the design axis of Treikalis et al.):
+//
+//   - "sync": all rungs are dispatched each epoch as one gang-scheduled
+//     command group, barrier at the boundary, and exchange in even/odd
+//     neighbour sweeps. Simple and deterministic, but the barrier stalls
+//     the whole ladder on the slowest replica.
+//   - "async": each rung runs independently; a replica reaching its
+//     boundary exchanges with any neighbour already waiting there, or
+//     waits for the first to arrive. No global barrier, so stragglers
+//     only ever delay their immediate neighbours.
+type RepexParams struct {
+	SystemKind string // "ljfluid", "water", "polymer", "peptide"
+	SystemN    int
+	Density    float64
+	BuildSeed  uint64
+
+	Replicas   int     // ladder rungs (≥2)
+	TMin, TMax float64 // ladder endpoints, K
+	Mode       string  // "sync" or "async"
+
+	SegmentSteps    int // MD steps between exchange attempts
+	Epochs          int // segments per rung
+	CheckpointEvery int // preemption-checkpoint cadence within a segment
+
+	// Config is the base MD configuration; Temperature is overridden per
+	// rung and Shards is clamped by the engine to the core grant. A zero
+	// Config (Dt == 0) is replaced by md.DefaultConfig.
+	Config md.Config
+
+	MinCores, MaxCores int
+	Seed               uint64
+}
+
+// DefaultRepexParams returns a small but complete REMD project.
+func DefaultRepexParams() RepexParams {
+	cfg := md.DefaultConfig()
+	cfg.Cutoff = 0.7
+	cfg.Skin = 0.1
+	cfg.Temperature = 0 // per rung
+	return RepexParams{
+		SystemKind:      "ljfluid",
+		SystemN:         64,
+		Density:         8,
+		BuildSeed:       1,
+		Replicas:        4,
+		TMin:            100,
+		TMax:            200,
+		Mode:            "sync",
+		SegmentSteps:    40,
+		Epochs:          4,
+		CheckpointEvery: 20,
+		Config:          cfg,
+		MinCores:        1,
+		MaxCores:        1,
+		Seed:            1,
+	}
+}
+
+func (p *RepexParams) validate() error {
+	if p.Replicas < 2 {
+		return fmt.Errorf("repex controller: need at least 2 replicas, got %d", p.Replicas)
+	}
+	if p.TMin <= 0 || p.TMax <= p.TMin {
+		return fmt.Errorf("repex controller: need 0 < TMin < TMax, got [%g, %g]", p.TMin, p.TMax)
+	}
+	switch p.Mode {
+	case "sync", "async":
+	case "":
+		p.Mode = "sync"
+	default:
+		return fmt.Errorf("repex controller: unknown mode %q (want sync or async)", p.Mode)
+	}
+	if p.SegmentSteps < 1 {
+		return fmt.Errorf("repex controller: segment steps must be positive")
+	}
+	if p.Epochs < 1 {
+		return fmt.Errorf("repex controller: need at least one epoch")
+	}
+	if p.Config.Dt == 0 {
+		cfg := md.DefaultConfig()
+		cfg.Cutoff = 0.7
+		cfg.Skin = 0.1
+		p.Config = cfg
+	}
+	if p.MinCores == 0 {
+		p.MinCores = 1
+	}
+	if p.MaxCores < p.MinCores {
+		p.MaxCores = p.MinCores
+	}
+	return nil
+}
+
+// RepexResult is the encoded project result.
+type RepexResult struct {
+	Params          RepexParams
+	Temps           []float64
+	Attempts        []uint64 // per neighbour pair
+	Accepts         []uint64
+	RoundTrips      uint64
+	SegmentsRun     int
+	FinalPotentials []float64 // per rung, kJ/mol
+}
+
+// RepexDetail is the live status blob published through
+// ProjectStatus.Detail (see Inspectable): enough for a client to print
+// per-pair acceptance rates and mixing progress while the project runs.
+type RepexDetail struct {
+	Mode       string
+	Temps      []float64
+	Attempts   []uint64
+	Accepts    []uint64
+	RoundTrips uint64
+	Epoch      int // sync: completed exchange rounds; async: min rung segments
+	Segments   int // completed segments over all rungs
+	Waiting    int // async: rungs parked at a boundary awaiting a partner
+}
+
+// repexRung is one ladder slot's live state.
+type repexRung struct {
+	state     []byte  // boundary md checkpoint ("" before the first segment)
+	potential float64 // potential at the last boundary
+	segs      int     // completed segments
+	waiting   bool    // async: at boundary, awaiting a partner
+	retired   bool    // all epochs done
+}
+
+// RepexController implements the replica-exchange plugin.
+type RepexController struct {
+	p        RepexParams
+	rand     *rng.Source
+	temps    []float64
+	rungs    []*repexRung
+	stats    *repex.Stats
+	inFlight map[string]int // command ID → rung
+	epoch    int            // sync: completed exchange rounds
+	gangSeq  int            // gang IDs issued (failure restarts bump it)
+	nextCmd  int
+	segsRun  int
+
+	// Barrier-wait bookkeeping (sync mode, metrics only — not persisted).
+	epochFirstArrival time.Time
+}
+
+// NewRepexController returns an uninitialised REMD controller.
+func NewRepexController() *RepexController {
+	return &RepexController{inFlight: make(map[string]int)}
+}
+
+// Name implements Controller.
+func (c *RepexController) Name() string { return RepexControllerName }
+
+// Start implements Controller.
+func (c *RepexController) Start(ctx Context, params []byte) error {
+	if err := wire.Unmarshal(params, &c.p); err != nil {
+		return fmt.Errorf("repex controller: params: %w", err)
+	}
+	if err := c.p.validate(); err != nil {
+		return err
+	}
+	temps, err := repex.Ladder(c.p.TMin, c.p.TMax, c.p.Replicas)
+	if err != nil {
+		return err
+	}
+	c.temps = temps
+	c.rand = rng.New(c.p.Seed ^ ctx.Seed())
+	c.stats = repex.NewStats(c.p.Replicas)
+	c.rungs = make([]*repexRung, c.p.Replicas)
+	for r := range c.rungs {
+		c.rungs[r] = &repexRung{}
+	}
+	ctx.SetStatus(0, fmt.Sprintf("%s REMD: %d rungs over [%g, %g] K",
+		c.p.Mode, c.p.Replicas, c.p.TMin, c.p.TMax))
+	if c.p.Mode == "sync" {
+		return c.submitEpochGang(ctx)
+	}
+	for r := range c.rungs {
+		if err := c.submitSegment(ctx, r, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentSpec builds the command for rung r's next segment.
+func (c *RepexController) segmentSpec(r int, gangID string, gangSize int) (wire.CommandSpec, error) {
+	rung := c.rungs[r]
+	cfg := c.p.Config
+	cfg.Temperature = c.temps[r]
+	// Fresh starts draw velocities from the rung's own seed; resumed
+	// segments carry their RNG inside the checkpoint.
+	cfg.Seed = c.p.Seed + uint64(r) + 1
+	// Sync epochs are ladder-aligned, so the boundary comes from the epoch
+	// counter: after a failed-epoch restart a rung that already reported
+	// re-targets the SAME boundary (and idempotently re-emits its state)
+	// instead of running a segment ahead of its siblings. Async rungs are
+	// independent, so each advances from its own segment count.
+	seg := c.epoch
+	if c.p.Mode == "async" {
+		seg = rung.segs
+	}
+	payload, err := wire.Marshal(&engines.RepexMDPayload{
+		SystemKind:      c.p.SystemKind,
+		SystemN:         c.p.SystemN,
+		Density:         c.p.Density,
+		BuildSeed:       c.p.BuildSeed,
+		Config:          cfg,
+		TargetStep:      int64(seg+1) * int64(c.p.SegmentSteps),
+		CheckpointEvery: c.p.CheckpointEvery,
+		StartState:      rung.state,
+	})
+	if err != nil {
+		return wire.CommandSpec{}, err
+	}
+	id := fmt.Sprintf("rx-c%05d-r%02d", c.nextCmd, r)
+	c.nextCmd++
+	return wire.CommandSpec{
+		ID:       id,
+		Type:     engines.RepexMDName,
+		MinCores: c.p.MinCores,
+		MaxCores: c.p.MaxCores,
+		Payload:  payload,
+		GangID:   gangID,
+		GangSize: gangSize,
+	}, nil
+}
+
+// submitEpochGang dispatches every rung's next segment as one
+// all-or-nothing gang (sync mode). A fresh gang ID per attempt keeps
+// restarted epochs distinct in the queue's gang table.
+func (c *RepexController) submitEpochGang(ctx Context) error {
+	gangID := fmt.Sprintf("%s/e%05d", ctx.ProjectName(), c.gangSeq)
+	c.gangSeq++
+	c.epochFirstArrival = time.Time{}
+	for r := range c.rungs {
+		cmd, err := c.segmentSpec(r, gangID, len(c.rungs))
+		if err != nil {
+			return err
+		}
+		if err := ctx.Submit(cmd); err != nil {
+			return err
+		}
+		c.inFlight[cmd.ID] = r
+	}
+	return nil
+}
+
+// submitSegment dispatches one rung's next segment solo (async mode).
+func (c *RepexController) submitSegment(ctx Context, r int, _ string) error {
+	cmd, err := c.segmentSpec(r, "", 0)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Submit(cmd); err != nil {
+		return err
+	}
+	c.inFlight[cmd.ID] = r
+	return nil
+}
+
+// attemptExchange runs one Metropolis attempt between rungs i and i+1,
+// swapping boundary states on acceptance, and records statistics and
+// metrics. The temperatures stay with the rungs; the configurations move.
+func (c *RepexController) attemptExchange(ctx Context, i int) bool {
+	lo, hi := c.rungs[i], c.rungs[i+1]
+	before := c.stats.RoundTrips
+	acc := repex.Accept(c.temps[i], lo.potential, c.temps[i+1], hi.potential, c.rand.Float64())
+	c.stats.Record(i, acc)
+	pair := obs.L("pair", fmt.Sprintf("%d-%d", i, i+1))
+	m := ctx.Obs().Metrics
+	m.Counter("copernicus_repex_exchange_attempts_total",
+		"REMD exchange attempts, by neighbour pair.", pair).Inc()
+	if acc {
+		m.Counter("copernicus_repex_exchange_accepts_total",
+			"Accepted REMD exchanges, by neighbour pair.", pair).Inc()
+		lo.state, hi.state = hi.state, lo.state
+		lo.potential, hi.potential = hi.potential, lo.potential
+	}
+	if trips := c.stats.RoundTrips - before; trips > 0 {
+		m.Counter("copernicus_repex_round_trips_total",
+			"Completed bottom-top-bottom walker traversals of the ladder.", obs.L()).Add(trips)
+	}
+	return acc
+}
+
+// CommandFinished implements Controller.
+func (c *RepexController) CommandFinished(ctx Context, res *wire.CommandResult) error {
+	r, ok := c.inFlight[res.CommandID]
+	if !ok {
+		return nil
+	}
+	delete(c.inFlight, res.CommandID)
+	var out engines.RepexMDOutput
+	if err := wire.Unmarshal(res.Output, &out); err != nil {
+		return fmt.Errorf("repex controller: output: %w", err)
+	}
+	rung := c.rungs[r]
+	rung.state = out.State
+	rung.potential = out.Potential
+	rung.segs++
+	c.segsRun++
+	if c.p.Mode == "sync" {
+		return c.finishedSync(ctx)
+	}
+	return c.finishedAsync(ctx, r)
+}
+
+// finishedSync advances the barriered epoch once every rung has reported.
+func (c *RepexController) finishedSync(ctx Context) error {
+	if c.epochFirstArrival.IsZero() {
+		c.epochFirstArrival = time.Now()
+	}
+	if len(c.inFlight) > 0 {
+		return nil
+	}
+	// Barrier complete: how long did the ladder wait on its straggler?
+	ctx.Obs().Metrics.Histogram("copernicus_repex_barrier_wait_seconds",
+		"Sync-mode wait between an epoch's first and last replica finishing.",
+		obs.DefBuckets(), obs.L()).Observe(time.Since(c.epochFirstArrival).Seconds())
+	for _, i := range repex.SweepPairs(len(c.rungs), c.epoch%2 == 1) {
+		c.attemptExchange(ctx, i)
+	}
+	c.epoch++
+	if c.epoch >= c.p.Epochs {
+		return c.finishProject(ctx)
+	}
+	ctx.SetStatus(c.epoch, c.statusNote())
+	return c.submitEpochGang(ctx)
+}
+
+// finishedAsync handles one rung reaching its segment boundary: exchange
+// with a waiting neighbour if there is one, wait if one may yet arrive, or
+// run on alone when both neighbours are done.
+func (c *RepexController) finishedAsync(ctx Context, r int) error {
+	rung := c.rungs[r]
+	if rung.segs >= c.p.Epochs {
+		rung.retired = true
+		// Neighbours parked waiting for this rung may now be unpairable.
+		if err := c.kickStranded(ctx); err != nil {
+			return err
+		}
+		return c.maybeFinishAsync(ctx)
+	}
+	partner := -1
+	for _, n := range []int{r - 1, r + 1} {
+		if n < 0 || n >= len(c.rungs) || !c.rungs[n].waiting {
+			continue
+		}
+		// Prefer the neighbour further behind (then the lower rung): the
+		// ladder drains evenly and the choice is deterministic in state,
+		// not arrival timing.
+		if partner == -1 || c.rungs[n].segs < c.rungs[partner].segs ||
+			(c.rungs[n].segs == c.rungs[partner].segs && n < partner) {
+			partner = n
+		}
+	}
+	if partner >= 0 {
+		lo := r
+		if partner < r {
+			lo = partner
+		}
+		c.attemptExchange(ctx, lo)
+		c.rungs[partner].waiting = false
+		ctx.SetStatus(c.minSegs(), c.statusNote())
+		if err := c.submitSegment(ctx, r, ""); err != nil {
+			return err
+		}
+		return c.submitSegment(ctx, partner, "")
+	}
+	if c.hasLiveNeighbor(r) {
+		rung.waiting = true
+		return nil
+	}
+	// Both neighbours retired: no exchange will ever come; run on alone.
+	return c.submitSegment(ctx, r, "")
+}
+
+// hasLiveNeighbor reports whether some neighbour of r can still reach a
+// boundary (is not retired).
+func (c *RepexController) hasLiveNeighbor(r int) bool {
+	for _, n := range []int{r - 1, r + 1} {
+		if n >= 0 && n < len(c.rungs) && !c.rungs[n].retired {
+			return true
+		}
+	}
+	return false
+}
+
+// kickStranded resubmits waiting rungs whose every neighbour has retired —
+// nobody is coming to exchange with them, so parking longer is pure stall.
+func (c *RepexController) kickStranded(ctx Context) error {
+	for r, rung := range c.rungs {
+		if rung.waiting && !rung.retired && !c.hasLiveNeighbor(r) {
+			rung.waiting = false
+			if err := c.submitSegment(ctx, r, ""); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maybeFinishAsync completes the project once every rung has retired.
+func (c *RepexController) maybeFinishAsync(ctx Context) error {
+	for _, rung := range c.rungs {
+		if !rung.retired {
+			return nil
+		}
+	}
+	return c.finishProject(ctx)
+}
+
+// minSegs returns the slowest rung's completed-segment count (the async
+// analogue of the epoch counter).
+func (c *RepexController) minSegs() int {
+	min := c.rungs[0].segs
+	for _, rung := range c.rungs[1:] {
+		if rung.segs < min {
+			min = rung.segs
+		}
+	}
+	return min
+}
+
+func (c *RepexController) statusNote() string {
+	var att, acc uint64
+	for i := range c.stats.Attempts {
+		att += c.stats.Attempts[i]
+		acc += c.stats.Accepts[i]
+	}
+	rate := 0.0
+	if att > 0 {
+		rate = float64(acc) / float64(att)
+	}
+	return fmt.Sprintf("%s REMD: %d segments, %d/%d exchanges accepted (%.0f%%), %d round trips",
+		c.p.Mode, c.segsRun, acc, att, 100*rate, c.stats.RoundTrips)
+}
+
+func (c *RepexController) finishProject(ctx Context) error {
+	finals := make([]float64, len(c.rungs))
+	for r, rung := range c.rungs {
+		finals[r] = rung.potential
+	}
+	blob, err := wire.Marshal(&RepexResult{
+		Params:          c.p,
+		Temps:           c.temps,
+		Attempts:        c.stats.Attempts,
+		Accepts:         c.stats.Accepts,
+		RoundTrips:      c.stats.RoundTrips,
+		SegmentsRun:     c.segsRun,
+		FinalPotentials: finals,
+	})
+	if err != nil {
+		return err
+	}
+	ctx.SetStatus(c.p.Epochs, c.statusNote())
+	ctx.Finish(blob)
+	return nil
+}
+
+// CommandFailed implements Controller. Async mode resubmits the lost
+// rung's segment. Sync mode restarts the whole epoch under a fresh gang
+// ID: the gang contract says siblings never outlive a member, so the
+// controller terminates the stragglers and re-dispatches the barrier.
+// Either way the boundary states are intact — segments are idempotent
+// (absolute TargetStep), so a member that already reported simply re-runs
+// to the same boundary.
+func (c *RepexController) CommandFailed(ctx Context, cmd wire.CommandSpec, reason string) error {
+	r, ok := c.inFlight[cmd.ID]
+	if !ok {
+		return nil
+	}
+	delete(c.inFlight, cmd.ID)
+	ctx.Logf("repex: segment %s for rung %d lost (%s)", cmd.ID, r, reason)
+	if c.p.Mode == "async" {
+		return c.submitSegment(ctx, r, "")
+	}
+	for id := range c.inFlight {
+		ctx.Terminate(id)
+		delete(c.inFlight, id)
+	}
+	return c.submitEpochGang(ctx)
+}
+
+// Inspect implements Inspectable.
+func (c *RepexController) Inspect() ([]byte, error) {
+	waiting := 0
+	for _, rung := range c.rungs {
+		if rung.waiting {
+			waiting++
+		}
+	}
+	epoch := c.epoch
+	if c.p.Mode == "async" && len(c.rungs) > 0 {
+		epoch = c.minSegs()
+	}
+	return wire.Marshal(&RepexDetail{
+		Mode:       c.p.Mode,
+		Temps:      c.temps,
+		Attempts:   c.stats.Attempts,
+		Accepts:    c.stats.Accepts,
+		RoundTrips: c.stats.RoundTrips,
+		Epoch:      epoch,
+		Segments:   c.segsRun,
+		Waiting:    waiting,
+	})
+}

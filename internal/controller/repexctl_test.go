@@ -1,0 +1,349 @@
+package controller
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"copernicus/internal/repex"
+	"copernicus/internal/wire"
+)
+
+func tinyRepexParams() RepexParams {
+	p := DefaultRepexParams()
+	p.SystemN = 64
+	p.Replicas = 3
+	p.SegmentSteps = 20
+	p.Epochs = 3
+	p.CheckpointEvery = 10
+	return p
+}
+
+func TestRepexParamValidation(t *testing.T) {
+	cases := []func(*RepexParams){
+		func(p *RepexParams) { p.Replicas = 1 },
+		func(p *RepexParams) { p.TMin = 0 },
+		func(p *RepexParams) { p.TMax = p.TMin },
+		func(p *RepexParams) { p.Mode = "psync" },
+		func(p *RepexParams) { p.SegmentSteps = 0 },
+		func(p *RepexParams) { p.Epochs = 0 },
+	}
+	for i, mutate := range cases {
+		p := tinyRepexParams()
+		mutate(&p)
+		ctx := newFakeCtx(t)
+		if err := NewRepexController().Start(ctx, mustParams(t, &p)); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+// TestRepexSyncCompletes drives a barriered ladder to completion: every
+// epoch is one gang, exchange attempts follow the even/odd sweep
+// schedule, and the result carries the acceptance statistics.
+func TestRepexSyncCompletes(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	// The first epoch is queued as one complete gang.
+	if len(ctx.queue) != p.Replicas {
+		t.Fatalf("initial queue = %d commands, want %d", len(ctx.queue), p.Replicas)
+	}
+	gang := ctx.queue[0].GangID
+	if gang == "" || !strings.HasPrefix(gang, "test/") {
+		t.Errorf("gang ID = %q, want project-prefixed", gang)
+	}
+	for _, cmd := range ctx.queue {
+		if cmd.GangID != gang || cmd.GangSize != p.Replicas {
+			t.Errorf("member %s gang = %q/%d", cmd.ID, cmd.GangID, cmd.GangSize)
+		}
+	}
+	if err := ctx.pump(ctrl, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.finished {
+		t.Fatal("sync project did not finish")
+	}
+	var res RepexResult
+	if err := wire.Unmarshal(ctx.result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRun != p.Replicas*p.Epochs {
+		t.Errorf("segments = %d, want %d", res.SegmentsRun, p.Replicas*p.Epochs)
+	}
+	// 3 epochs over 3 rungs: even sweeps attempt pair 0, odd sweeps pair 1.
+	var want uint64
+	for e := 0; e < p.Epochs; e++ {
+		want += uint64(len(repex.SweepPairs(p.Replicas, e%2 == 1)))
+	}
+	var got uint64
+	for _, a := range res.Attempts {
+		got += a
+	}
+	if got != want {
+		t.Errorf("attempts = %d, want %d", got, want)
+	}
+	for r, u := range res.FinalPotentials {
+		if u == 0 {
+			t.Errorf("rung %d final potential missing", r)
+		}
+	}
+}
+
+// TestRepexAsyncCompletes drives the barrier-free ladder: replicas pair
+// with waiting neighbours, stragglers are kicked when their neighbours
+// retire, and every rung still runs its full epoch budget.
+func TestRepexAsyncCompletes(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	p.Mode = "async"
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range ctx.queue {
+		if cmd.GangID != "" || cmd.GangSize != 0 {
+			t.Errorf("async command %s carries gang fields", cmd.ID)
+		}
+	}
+	if err := ctx.pump(ctrl, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.finished {
+		t.Fatal("async project did not finish")
+	}
+	var res RepexResult
+	if err := wire.Unmarshal(ctx.result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRun != p.Replicas*p.Epochs {
+		t.Errorf("segments = %d, want %d", res.SegmentsRun, p.Replicas*p.Epochs)
+	}
+	var attempts uint64
+	for _, a := range res.Attempts {
+		attempts += a
+	}
+	if attempts == 0 {
+		t.Error("async ladder never attempted an exchange")
+	}
+}
+
+// TestRepexSyncDeterministic: identical parameters and seeds produce a
+// bitwise-identical result blob — the property the failover test builds
+// on.
+func TestRepexSyncDeterministic(t *testing.T) {
+	run := func() []byte {
+		ctx := newFakeCtx(t)
+		ctrl := NewRepexController()
+		p := tinyRepexParams()
+		if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.pump(ctrl, 100); err != nil {
+			t.Fatal(err)
+		}
+		if !ctx.finished {
+			t.Fatal("project did not finish")
+		}
+		return ctx.result
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("two identical sync runs produced different results")
+	}
+}
+
+// TestRepexSyncFailureRestartsEpoch: losing one gang member terminates the
+// surviving siblings and resubmits the whole epoch under a fresh gang ID;
+// the ladder still finishes with aligned boundaries.
+func TestRepexSyncFailureRestartsEpoch(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	firstGang := ctx.queue[0].GangID
+	victim := ctx.queue[0]
+	survivors := make([]string, 0, len(ctx.queue)-1)
+	for _, cmd := range ctx.queue[1:] {
+		survivors = append(survivors, cmd.ID)
+	}
+	ctx.queue = nil // the gang was dispatched, then its worker died
+	if err := ctrl.CommandFailed(ctx, victim, "worker lost"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range survivors {
+		if !ctx.terminated[id] {
+			t.Errorf("surviving sibling %s not terminated on gang restart", id)
+		}
+	}
+	if len(ctx.queue) != p.Replicas {
+		t.Fatalf("restarted epoch queued %d commands, want %d", len(ctx.queue), p.Replicas)
+	}
+	if g := ctx.queue[0].GangID; g == firstGang || g == "" {
+		t.Errorf("restarted gang reused ID %q", g)
+	}
+	if err := ctx.pump(ctrl, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.finished {
+		t.Fatal("project did not finish after epoch restart")
+	}
+	var res RepexResult
+	if err := wire.Unmarshal(ctx.result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRun != p.Replicas*p.Epochs {
+		t.Errorf("segments = %d, want %d", res.SegmentsRun, p.Replicas*p.Epochs)
+	}
+}
+
+// TestRepexAsyncFailureResubmitsSegment: async mode resubmits only the
+// lost rung's segment.
+func TestRepexAsyncFailureResubmitsSegment(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	p.Mode = "async"
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	victim := ctx.queue[0]
+	rest := len(ctx.queue) - 1
+	ctx.queue = ctx.queue[1:]
+	if err := ctrl.CommandFailed(ctx, victim, "worker lost"); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.queue) != rest+1 {
+		t.Fatalf("queue = %d commands after resubmit, want %d", len(ctx.queue), rest+1)
+	}
+	if err := ctx.pump(ctrl, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.finished {
+		t.Fatal("async project did not finish after segment loss")
+	}
+}
+
+// TestRepexInspect: the live Detail blob decodes and tracks the stats.
+func TestRepexInspect(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.pump(ctrl, 100); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ctrl.Inspect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d RepexDetail
+	if err := wire.Unmarshal(blob, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode != "sync" || len(d.Temps) != p.Replicas || len(d.Attempts) != p.Replicas-1 {
+		t.Errorf("detail = %+v", d)
+	}
+	if d.Segments != p.Replicas*p.Epochs {
+		t.Errorf("detail segments = %d, want %d", d.Segments, p.Replicas*p.Epochs)
+	}
+	var res RepexResult
+	if err := wire.Unmarshal(ctx.result, &res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Attempts {
+		if d.Attempts[i] != res.Attempts[i] || d.Accepts[i] != res.Accepts[i] {
+			t.Errorf("detail pair %d diverges from result", i)
+		}
+	}
+}
+
+// TestRepexSaveRestoreMidRunMatchesUninterrupted mirrors the MSM/BAR
+// durability tests: interrupt after one result, round-trip the state
+// through gob, and require the continuation to finish bitwise-identical
+// to an uninterrupted run.
+func TestRepexSaveRestoreMidRunMatchesUninterrupted(t *testing.T) {
+	run := func(interrupt bool) []byte {
+		ctx := newFakeCtx(t)
+		var ctrl Controller = NewRepexController()
+		p := tinyRepexParams()
+		if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+			t.Fatal(err)
+		}
+		if interrupt {
+			if err := ctx.pumpN(ctrl, 1); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := ctrl.(Durable).SaveState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := NewRepexController()
+			if err := fresh.RestoreState(blob); err != nil {
+				t.Fatal(err)
+			}
+			ctrl = fresh
+		}
+		if err := ctx.pump(ctrl, 200); err != nil {
+			t.Fatal(err)
+		}
+		if !ctx.finished {
+			t.Fatal("project did not finish")
+		}
+		return ctx.result
+	}
+	a, b := run(false), run(true)
+	if !bytes.Equal(a, b) {
+		var ra, rb RepexResult
+		_ = wire.Unmarshal(a, &ra)
+		_ = wire.Unmarshal(b, &rb)
+		t.Errorf("restored run diverged:\nuninterrupted: %+v\nrestored:      %+v", ra, rb)
+	}
+}
+
+func TestRepexDurableRejectsGarbage(t *testing.T) {
+	if err := NewRepexController().RestoreState([]byte("nonsense")); err == nil {
+		t.Error("repex accepted garbage state")
+	}
+}
+
+// TestRepexGangIDsUnique: every sync epoch (including restarts) gets a
+// distinct gang ID, so the queue's gang table never aliases two barriers.
+func TestRepexGangIDsUnique(t *testing.T) {
+	ctx := newFakeCtx(t)
+	ctrl := NewRepexController()
+	p := tinyRepexParams()
+	if err := ctrl.Start(ctx, mustParams(t, &p)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	record := func() {
+		for _, cmd := range ctx.queue {
+			if cmd.GangID != "" {
+				seen[cmd.GangID] = true
+			}
+		}
+	}
+	record()
+	for e := 0; e < p.Epochs; e++ {
+		if err := ctx.pumpN(ctrl, p.Replicas); err != nil && !ctx.finished {
+			t.Fatal(err)
+		}
+		record()
+	}
+	if len(seen) != p.Epochs {
+		t.Errorf("distinct gang IDs = %d, want %d: %v", len(seen), p.Epochs, seen)
+	}
+	for g := range seen {
+		if !strings.HasPrefix(g, fmt.Sprintf("%s/", ctx.ProjectName())) {
+			t.Errorf("gang ID %q not project-prefixed", g)
+		}
+	}
+}

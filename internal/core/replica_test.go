@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -244,6 +245,128 @@ func TestFailoverUnderPartitionChaos(t *testing.T) {
 	body := httpGetBody(t, ms.URL+"/metrics")
 	if v := promValue(t, body, "copernicus_chaos_faults_total"); v < 1 {
 		t.Errorf("no chaos faults fired (copernicus_chaos_faults_total = %v)", v)
+	}
+}
+
+// smallRepexParams is a three-rung sync REMD ladder sized so the whole
+// epoch gang fits one worker and a run lasts a few seconds — long enough
+// to kill the primary mid-ladder.
+func smallRepexParams() controller.RepexParams {
+	p := controller.DefaultRepexParams()
+	p.Replicas = 3
+	p.SegmentSteps = 600
+	p.Epochs = 4
+	p.CheckpointEvery = 150
+	p.Config.Shards = 1
+	return p
+}
+
+// waitRepexProgress gates the crash on the primary's in-process project
+// state rather than a wire status poll: the 3-replica MD gang saturates a
+// small host (worse under the race detector), so anycast polls can starve
+// past the overlay timeout — or miss the whole run — without the server
+// being gone. Peeking keeps the kill inside the ladder deterministically.
+func waitRepexProgress(t *testing.T, f *Fabric, si int, name string, minFinished int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := f.Server(si).Project(name)
+		if !ok {
+			t.Fatalf("project %q not on server %d", name, si)
+		}
+		if st.State != "running" {
+			t.Fatalf("project left running state before the crash: %q (%s)", st.State, st.Note)
+		}
+		if st.Finished >= minFinished {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("project never reached the crash point")
+}
+
+// TestFailoverPreservesRepexLadder kills the primary in the middle of a
+// gang-scheduled sync REMD ladder. The promoted standby must resume the
+// exchange ladder — RNG, acceptance statistics, walker positions, boundary
+// states — exactly where the primary's journal left it: the final result
+// blob must be byte-identical to an uninterrupted run of the same project,
+// and no half-running gang may be stranded across the failover.
+func TestFailoverPreservesRepexLadder(t *testing.T) {
+	p := smallRepexParams()
+
+	// Reference: the same project on an identical (but unharmed) topology.
+	// The project seed derives from the name, so the command stream and
+	// every Metropolis draw must match the failover run's.
+	ref := replicatedFabric(t, func(cfg *FabricConfig) {
+		cfg.WorkerCores = p.Replicas
+	})
+	if err := ref.Submit(ctxTimeout(t, 30*time.Second), "failover-repex", controller.RepexControllerName, &p); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Wait(ctxTimeout(t, 4*time.Minute), "failover-repex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	if want.State != "finished" {
+		t.Fatalf("reference state = %q (%s)", want.State, want.Note)
+	}
+
+	f := replicatedFabric(t, func(cfg *FabricConfig) {
+		cfg.WorkerCores = p.Replicas
+	})
+	defer f.Close()
+	if err := f.Submit(ctxTimeout(t, 30*time.Second), "failover-repex", controller.RepexControllerName, &p); err != nil {
+		t.Fatal(err)
+	}
+	waitRepexProgress(t, f, 0, "failover-repex", 2)
+	waitReplicaCaughtUp(t, f, 0, 10)
+
+	f.CrashServer(0)
+	waitClosed(t, f.Peer(1).Promoted(), 30*time.Second, "standby promotion")
+
+	st, err := f.Wait(ctxTimeout(t, 4*time.Minute), "failover-repex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "finished" {
+		t.Fatalf("state = %q (%s)", st.State, st.Note)
+	}
+	// No stranded half-gang: the ladder drained completely.
+	if st.Queued != 0 || st.Running != 0 {
+		t.Errorf("gang members stranded across failover: %d queued, %d running", st.Queued, st.Running)
+	}
+
+	var res, refRes controller.RepexResult
+	if err := wire.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Unmarshal(want.Result, &refRes); err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentsRun != p.Replicas*p.Epochs {
+		t.Errorf("segments = %d, want %d", res.SegmentsRun, p.Replicas*p.Epochs)
+	}
+	// The acceptance criterion: exchange statistics and boundary physics
+	// survive promotion bitwise-intact.
+	if !bytes.Equal(st.Result, want.Result) {
+		t.Errorf("failover result diverged from uninterrupted run:\nuninterrupted: %+v\nfailover:      %+v",
+			refRes, res)
+	}
+
+	// The promoted server also serves the live Detail blob: per-pair
+	// acceptance statistics matching the final result.
+	if len(st.Detail) == 0 {
+		t.Fatal("promoted server returned no controller detail")
+	}
+	var d controller.RepexDetail
+	if err := wire.Unmarshal(st.Detail, &d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Attempts {
+		if d.Attempts[i] != res.Attempts[i] || d.Accepts[i] != res.Accepts[i] {
+			t.Errorf("detail pair %d diverges from result", i)
+		}
 	}
 }
 

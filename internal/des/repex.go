@@ -1,0 +1,567 @@
+// Replica-exchange scheduling scenario: a discrete-event simulation that
+// drives the REAL fair-share queue (internal/queue) with its gang
+// scheduler under a virtual clock, comparing the two REMD exchange
+// patterns (Treikalis et al.) at scales the unit tests cannot reach:
+//
+//   - "sync": every epoch the whole temperature ladder is submitted as one
+//     gang-scheduled command group — all-or-nothing dispatch to a single
+//     partition-sized worker, global barrier at the segment boundary, then
+//     even/odd neighbour exchange sweeps.
+//   - "async": replicas run as independent solo commands; a replica
+//     reaching its boundary exchanges with a neighbour already waiting
+//     there, or parks until one arrives. No global barrier.
+//
+// With uniform segment durations the barrier is free and both patterns
+// keep the ladder busy; under heavy-tailed durations the sync barrier
+// stalls every replica on the epoch's slowest straggler, while async pays
+// only nearest-neighbour waits — the scenario quantifies that gap as
+// exchange throughput. A worker-churn fault window additionally exercises
+// the gang contract: kills preempt whole gangs at checkpoint boundaries
+// (per-member release-then-requeue, exactly the server's ordering) and
+// the run must finish with no partial-gang dispatch and no leaked core
+// grant.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"copernicus/internal/obs"
+	"copernicus/internal/queue"
+	"copernicus/internal/repex"
+	"copernicus/internal/wire"
+)
+
+// RepexDESParams configures one replica-exchange scheduling scenario. The
+// zero value is not runnable; start from DefaultRepexDESParams.
+type RepexDESParams struct {
+	Replicas int    // temperature-ladder rungs
+	Epochs   int    // segments per rung
+	Mode     string // "sync" or "async"
+
+	Workers        int
+	CoresPerWorker int // sync mode needs >= Replicas (the gang is indivisible)
+
+	// MeanSegSeconds is the mean segment duration. ParetoAlpha selects the
+	// duration law: 0 means every segment takes exactly the mean (uniform
+	// hardware); alpha > 1 draws from a Pareto with that mean, modelling
+	// the heavy-tailed segment times of shared clusters. MaxSegFactor > 0
+	// truncates draws at MaxSegFactor x mean (a segment is a bounded step
+	// count, so its duration cannot grow without limit).
+	MeanSegSeconds float64
+	ParetoAlpha    float64
+	MaxSegFactor   float64
+
+	// TMin, TMax span the ladder; exchange decisions use real Metropolis
+	// acceptance over synthetic boundary potentials so acceptance rates
+	// are physical rather than coin flips.
+	TMin, TMax float64
+
+	// DispatchLatency is the delay between a queue state change and the
+	// matching round that reacts to it (announce round-trip).
+	DispatchLatency float64
+
+	// Worker churn: every ChurnEvery seconds inside [ChurnStart, ChurnEnd)
+	// a worker is killed — its running commands are checkpoint-preempted
+	// (progress floored to CheckpointSeconds) and requeued member by
+	// member — and rejoins ReviveAfter seconds later. ChurnEvery = 0
+	// disables churn.
+	ChurnStart, ChurnEnd, ChurnEvery, ReviveAfter float64
+	CheckpointSeconds                             float64
+
+	Seed uint64
+	// Obs, when set, receives the queue's metric families.
+	Obs *obs.Obs
+}
+
+// DefaultRepexDESParams is a CI-sized ladder: 64 replicas, uniform
+// ten-minute segments, one partition-sized worker plus a spare.
+func DefaultRepexDESParams() RepexDESParams {
+	return RepexDESParams{
+		Replicas:          64,
+		Epochs:            6,
+		Mode:              "sync",
+		Workers:           2,
+		CoresPerWorker:    64,
+		MeanSegSeconds:    600,
+		ParetoAlpha:       0,
+		TMin:              300,
+		TMax:              450,
+		DispatchLatency:   1,
+		CheckpointSeconds: 60,
+		Seed:              7,
+	}
+}
+
+func (p *RepexDESParams) validate() error {
+	if p.Replicas < 2 || p.Epochs < 1 {
+		return fmt.Errorf("des: need >= 2 replicas and >= 1 epoch")
+	}
+	switch p.Mode {
+	case "sync", "async":
+	default:
+		return fmt.Errorf("des: unknown repex mode %q", p.Mode)
+	}
+	if p.Workers < 1 || p.CoresPerWorker < 1 {
+		return fmt.Errorf("des: need at least one worker with one core")
+	}
+	if p.Mode == "sync" && p.CoresPerWorker < p.Replicas {
+		return fmt.Errorf("des: sync gang of %d replicas cannot fit a %d-core worker",
+			p.Replicas, p.CoresPerWorker)
+	}
+	if p.MeanSegSeconds <= 0 {
+		return fmt.Errorf("des: segment duration must be positive")
+	}
+	if p.ParetoAlpha != 0 && p.ParetoAlpha <= 1 {
+		return fmt.Errorf("des: ParetoAlpha must be 0 (uniform) or > 1")
+	}
+	if p.TMin <= 0 || p.TMax <= p.TMin {
+		return fmt.Errorf("des: need 0 < TMin < TMax")
+	}
+	if p.DispatchLatency <= 0 {
+		p.DispatchLatency = 1
+	}
+	return nil
+}
+
+// RepexDESResult is the scenario scorecard.
+type RepexDESResult struct {
+	Params RepexDESParams
+
+	Completed       bool // all rungs ran all epochs (no deadlock)
+	MakespanSeconds float64
+	SegmentsRun     int
+
+	ExchangeAttempts uint64
+	ExchangeAccepts  uint64
+	ExchangesPerHour float64 // attempts / makespan — the mixing rate
+
+	// ReplicaUtilization is busy replica-seconds over Replicas × makespan:
+	// the fraction of ladder capacity actually simulating.
+	ReplicaUtilization float64
+
+	// Fault-window accounting.
+	WorkerKills      int
+	RequeuedSegments int
+	DemotedSegments  int // gang stragglers demoted to solo (broken-gang rule)
+
+	// Invariant violations — all must be zero.
+	PartialGangDispatches int // a Match returned a strict subset of a gang
+	GrantImbalance        int // cores granted minus cores returned at the end
+	QueueLeft             int // commands still queued after completion
+}
+
+// rxRun tracks one dispatched segment.
+type rxRun struct {
+	rung    int
+	wi      int
+	cores   int
+	started float64
+	seq     uint64 // assignment generation; stale completions are dropped
+}
+
+// rxScenario is the engine state for one SimulateRepex run.
+type rxScenario struct {
+	p      RepexDESParams
+	now    float64
+	seq    uint64
+	events tEventHeap
+	rng    *rand.Rand
+	q      *queue.Queue
+
+	temps []float64
+	stats *repex.Stats
+
+	// Per-rung controller state (mirrors RepexController's rung model).
+	segs    []int
+	waiting []bool
+	retired []bool
+	pot     []float64
+
+	rem     map[string]float64 // cmdID -> remaining run time
+	owner   map[string]int     // cmdID -> rung
+	running map[string]*rxRun
+	specs   map[string]wire.CommandSpec
+
+	free    []int
+	alive   []bool
+	granted int
+
+	epoch     int // sync: completed exchange rounds
+	pendSync  int // sync: members not yet reported this epoch
+	gangSeq   int
+	nextCmd   int
+	busy      float64
+	done      bool
+	dispatchQ bool // a matching round is already scheduled
+
+	res RepexDESResult
+}
+
+const (
+	rxDispatch = iota
+	rxComplete
+	rxKill
+	rxRevive
+)
+
+func (s *rxScenario) schedule(at float64, ev tEvent) {
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// wake schedules one matching round after the dispatch latency, coalescing
+// bursts of queue changes into a single round.
+func (s *rxScenario) wake() {
+	if s.dispatchQ {
+		return
+	}
+	s.dispatchQ = true
+	s.schedule(s.now+s.p.DispatchLatency, tEvent{kind: rxDispatch})
+}
+
+// segDur draws a segment duration.
+func (s *rxScenario) segDur() float64 {
+	if s.p.ParetoAlpha == 0 {
+		return s.p.MeanSegSeconds
+	}
+	// Pareto with the configured mean: xm·U^(-1/alpha), xm = mean·(α-1)/α.
+	xm := s.p.MeanSegSeconds * (s.p.ParetoAlpha - 1) / s.p.ParetoAlpha
+	u := s.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := xm * math.Pow(u, -1/s.p.ParetoAlpha)
+	if cap := s.p.MaxSegFactor * s.p.MeanSegSeconds; cap > 0 && d > cap {
+		d = cap
+	}
+	return d
+}
+
+// samplePotential draws a synthetic boundary potential for rung r: mean
+// scales with temperature (equipartition) and fluctuations with √T, so
+// neighbouring rungs overlap and Metropolis acceptance is physical.
+func (s *rxScenario) samplePotential(r int) float64 {
+	t := s.temps[r]
+	return 3*t + 12*math.Sqrt(t)*s.rng.NormFloat64()
+}
+
+// submitSegment queues rung r's next segment. Sync epochs travel as a
+// gang; async segments go solo.
+func (s *rxScenario) submitSegment(r int, gangID string, gangSize int) {
+	s.nextCmd++
+	id := fmt.Sprintf("seg%06d", s.nextCmd)
+	spec := wire.CommandSpec{
+		ID: id, Project: "remd", Tenant: "remd",
+		Type: "sim", MinCores: 1, MaxCores: 1,
+		GangID: gangID, GangSize: gangSize,
+	}
+	if err := s.q.Push(spec); err != nil {
+		panic(fmt.Sprintf("des: repex push: %v", err)) // single tenant, no quotas: must admit
+	}
+	s.rem[id] = s.segDur()
+	s.owner[id] = r
+	s.specs[id] = spec
+	s.wake()
+}
+
+// submitEpochGang queues the whole ladder as one gang (sync mode).
+func (s *rxScenario) submitEpochGang() {
+	gangID := fmt.Sprintf("remd/e%05d", s.gangSeq)
+	s.gangSeq++
+	s.pendSync = s.p.Replicas
+	for r := 0; r < s.p.Replicas; r++ {
+		s.submitSegment(r, gangID, s.p.Replicas)
+	}
+}
+
+// attemptExchange runs one Metropolis attempt between rungs i and i+1.
+func (s *rxScenario) attemptExchange(i int) {
+	acc := repex.Accept(s.temps[i], s.pot[i], s.temps[i+1], s.pot[i+1], s.rng.Float64())
+	s.stats.Record(i, acc)
+	s.res.ExchangeAttempts++
+	if acc {
+		s.res.ExchangeAccepts++
+		s.pot[i], s.pot[i+1] = s.pot[i+1], s.pot[i]
+	}
+}
+
+// boundary handles rung r finishing a segment — the controller logic of
+// RepexController, re-expressed over virtual time.
+func (s *rxScenario) boundary(r int) {
+	s.segs[r]++
+	s.res.SegmentsRun++
+	s.pot[r] = s.samplePotential(r)
+
+	if s.p.Mode == "sync" {
+		s.pendSync--
+		if s.pendSync > 0 {
+			return
+		}
+		for _, i := range repex.SweepPairs(s.p.Replicas, s.epoch%2 == 1) {
+			s.attemptExchange(i)
+		}
+		s.epoch++
+		if s.epoch >= s.p.Epochs {
+			s.done = true
+			return
+		}
+		s.submitEpochGang()
+		return
+	}
+
+	// Async: retire, pair with a waiting neighbour, wait, or run on alone.
+	if s.segs[r] >= s.p.Epochs {
+		s.retired[r] = true
+		s.kickStranded()
+		s.done = s.allRetired()
+		return
+	}
+	partner := -1
+	for _, n := range []int{r - 1, r + 1} {
+		if n < 0 || n >= s.p.Replicas || !s.waiting[n] {
+			continue
+		}
+		if partner == -1 || s.segs[n] < s.segs[partner] ||
+			(s.segs[n] == s.segs[partner] && n < partner) {
+			partner = n
+		}
+	}
+	if partner >= 0 {
+		lo := r
+		if partner < r {
+			lo = partner
+		}
+		s.attemptExchange(lo)
+		s.waiting[partner] = false
+		s.submitSegment(r, "", 0)
+		s.submitSegment(partner, "", 0)
+		return
+	}
+	if s.hasLiveNeighbor(r) {
+		s.waiting[r] = true
+		return
+	}
+	s.submitSegment(r, "", 0)
+}
+
+func (s *rxScenario) hasLiveNeighbor(r int) bool {
+	for _, n := range []int{r - 1, r + 1} {
+		if n >= 0 && n < s.p.Replicas && !s.retired[n] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *rxScenario) kickStranded() {
+	for r := 0; r < s.p.Replicas; r++ {
+		if s.waiting[r] && !s.retired[r] && !s.hasLiveNeighbor(r) {
+			s.waiting[r] = false
+			s.submitSegment(r, "", 0)
+		}
+	}
+}
+
+func (s *rxScenario) allRetired() bool {
+	for _, ret := range s.retired {
+		if !ret {
+			return false
+		}
+	}
+	return true
+}
+
+// matchRound lets every live worker announce its free cores and start what
+// the scheduler hands back, checking the gang contract on each workload.
+func (s *rxScenario) matchRound() {
+	for wi := range s.free {
+		if !s.alive[wi] || s.free[wi] < 1 {
+			continue
+		}
+		wl := s.q.Match(wire.WorkerInfo{
+			ID:          fmt.Sprintf("w%03d", wi),
+			Platform:    "smp",
+			Cores:       s.free[wi],
+			Executables: []string{"sim"},
+		})
+		// The gang contract: a workload never contains a strict subset of
+		// a gang.
+		gangHere := make(map[string]int)
+		for _, c := range wl.Commands {
+			if c.GangID != "" {
+				gangHere[c.GangID]++
+			}
+		}
+		for _, c := range wl.Commands {
+			if c.GangID != "" && gangHere[c.GangID] != c.GangSize {
+				s.res.PartialGangDispatches++
+			}
+		}
+		for _, c := range wl.Commands {
+			cores := wl.Cores[c.ID]
+			s.free[wi] -= cores
+			s.granted += cores
+			s.seq++
+			run := &rxRun{rung: s.owner[c.ID], wi: wi, cores: cores,
+				started: s.now, seq: s.seq}
+			s.running[c.ID] = run
+			s.schedule(s.now+s.rem[c.ID], tEvent{kind: rxComplete,
+				who: wi, cmdID: c.ID, gen: run.seq})
+		}
+	}
+}
+
+// kill takes worker wi down: every running command is checkpoint-preempted
+// and requeued with the server's per-member release-then-requeue ordering
+// (the gang's inflight count keeps it alive across the interleave).
+func (s *rxScenario) kill(wi int) {
+	if !s.alive[wi] {
+		return
+	}
+	s.alive[wi] = false
+	s.free[wi] = 0
+	s.res.WorkerKills++
+	touched := make(map[string]bool)
+	for id, run := range s.running {
+		if run.wi != wi {
+			continue
+		}
+		if g := s.specs[id].GangID; g != "" {
+			touched[g] = true
+		}
+		elapsed := s.now - run.started
+		banked := elapsed
+		if s.p.CheckpointSeconds > 0 {
+			banked = math.Floor(elapsed/s.p.CheckpointSeconds) * s.p.CheckpointSeconds
+		}
+		s.busy += banked
+		s.rem[id] -= banked
+		if s.rem[id] < 0 {
+			s.rem[id] = 0
+		}
+		s.granted -= run.cores
+		delete(s.running, id)
+		s.q.Release(id, elapsed)
+		if err := s.q.Requeue(s.specs[id]); err != nil {
+			panic(fmt.Sprintf("des: repex requeue: %v", err))
+		}
+		s.res.RequeuedSegments++
+	}
+	// The server's broken-gang rule: members that finished before the kill
+	// are gone for good, so a requeued remnant smaller than the gang can
+	// never reassemble — demote its stragglers to solo commands.
+	for gid := range touched {
+		queued, size, inflight, ok := s.q.Gang(gid)
+		if ok && inflight == 0 && queued > 0 && queued < size {
+			s.res.DemotedSegments += s.q.DemoteGang(gid)
+		}
+	}
+	s.schedule(s.now+s.p.ReviveAfter, tEvent{kind: rxRevive, who: wi})
+	s.wake()
+}
+
+// SimulateRepex runs the replica-exchange scheduling scenario. It is
+// deterministic for a given RepexDESParams.
+func SimulateRepex(p RepexDESParams) (RepexDESResult, error) {
+	if err := p.validate(); err != nil {
+		return RepexDESResult{}, err
+	}
+	temps, err := repex.Ladder(p.TMin, p.TMax, p.Replicas)
+	if err != nil {
+		return RepexDESResult{}, err
+	}
+	s := &rxScenario{
+		p:       p,
+		rng:     rand.New(rand.NewSource(int64(p.Seed))),
+		temps:   temps,
+		stats:   repex.NewStats(p.Replicas),
+		segs:    make([]int, p.Replicas),
+		waiting: make([]bool, p.Replicas),
+		retired: make([]bool, p.Replicas),
+		pot:     make([]float64, p.Replicas),
+		rem:     make(map[string]float64),
+		owner:   make(map[string]int),
+		running: make(map[string]*rxRun),
+		specs:   make(map[string]wire.CommandSpec),
+	}
+	s.res.Params = p
+
+	epoch := time.Unix(1_700_000_000, 0)
+	s.q = queue.NewWithConfig(queue.Config{
+		Clock: func() time.Time { return epoch.Add(time.Duration(s.now * float64(time.Second))) },
+	})
+	if p.Obs != nil {
+		s.q.SetObs(p.Obs, obs.L("node", "des-repex"))
+	}
+
+	for r := 0; r < p.Replicas; r++ {
+		s.pot[r] = s.samplePotential(r)
+	}
+	for wi := 0; wi < p.Workers; wi++ {
+		s.free = append(s.free, p.CoresPerWorker)
+		s.alive = append(s.alive, true)
+	}
+	if p.Mode == "sync" {
+		s.submitEpochGang()
+	} else {
+		for r := 0; r < p.Replicas; r++ {
+			s.submitSegment(r, "", 0)
+		}
+	}
+	if p.ChurnEvery > 0 {
+		k := 0
+		for at := p.ChurnStart; at < p.ChurnEnd; at += p.ChurnEvery {
+			s.schedule(at, tEvent{kind: rxKill, who: k % p.Workers})
+			k++
+		}
+	}
+
+	const maxEvents = 20_000_000 // runaway backstop; a deadlock otherwise spins on polls
+	for n := 0; s.events.Len() > 0 && !s.done && n < maxEvents; n++ {
+		ev := heap.Pop(&s.events).(tEvent)
+		s.now = ev.at
+		switch ev.kind {
+		case rxDispatch:
+			s.dispatchQ = false
+			s.matchRound()
+		case rxComplete:
+			run, ok := s.running[ev.cmdID]
+			if !ok || run.seq != ev.gen {
+				continue // preempted before finishing; a fresh run owns it now
+			}
+			delete(s.running, ev.cmdID)
+			s.busy += s.now - run.started
+			s.granted -= run.cores
+			s.free[run.wi] += run.cores
+			s.q.Release(ev.cmdID, s.now-run.started)
+			delete(s.rem, ev.cmdID)
+			delete(s.specs, ev.cmdID)
+			rung := s.owner[ev.cmdID]
+			delete(s.owner, ev.cmdID)
+			s.boundary(rung)
+			s.wake()
+		case rxKill:
+			s.kill(ev.who)
+		case rxRevive:
+			s.alive[ev.who] = true
+			s.free[ev.who] = p.CoresPerWorker
+			s.wake()
+		}
+	}
+
+	s.res.Completed = s.done
+	s.res.MakespanSeconds = s.now
+	s.res.GrantImbalance = s.granted
+	s.res.QueueLeft = s.q.Len()
+	if s.now > 0 {
+		s.res.ExchangesPerHour = float64(s.res.ExchangeAttempts) / s.now * 3600
+		s.res.ReplicaUtilization = s.busy / (float64(p.Replicas) * s.now)
+	}
+	return s.res, nil
+}

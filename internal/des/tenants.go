@@ -205,6 +205,10 @@ type tEvent struct {
 	cmdID string
 	cores int
 	dur   float64
+	// gen is the dispatch generation the completion belongs to (repex
+	// scenario): a segment preempted and re-dispatched invalidates the
+	// completion scheduled by its earlier run.
+	gen uint64
 }
 
 type tEventHeap []tEvent

@@ -343,5 +343,6 @@ func Default() []Engine {
 		&LandscapeEngine{CheckpointEveryNs: 10},
 		&MDEngine{},
 		&BAREngine{},
+		&RepexMDEngine{},
 	}
 }

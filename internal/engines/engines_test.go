@@ -310,14 +310,14 @@ func TestBAREngineErrors(t *testing.T) {
 
 func TestDefaultEngineSet(t *testing.T) {
 	engs := Default()
-	if len(engs) != 3 {
+	if len(engs) != 4 {
 		t.Fatalf("default engines = %d", len(engs))
 	}
 	names := map[string]bool{}
 	for _, e := range engs {
 		names[e.Name()] = true
 	}
-	for _, want := range []string{LandscapeName, MDName, BARName} {
+	for _, want := range []string{LandscapeName, MDName, BARName, RepexMDName} {
 		if !names[want] {
 			t.Errorf("missing engine %q", want)
 		}

@@ -1,0 +1,125 @@
+package engines
+
+import (
+	"context"
+	"fmt"
+
+	"copernicus/internal/md"
+	"copernicus/internal/wire"
+)
+
+// --- replica-exchange MD segment engine ---
+
+// RepexMDName is the executable name of the REMD segment engine.
+const RepexMDName = "repex-md"
+
+// RepexMDPayload describes one replica-exchange segment: run a replica of
+// the payload's system at Config.Temperature until TargetStep, starting
+// from StartState (the previous segment's boundary state, possibly handed
+// over from a neighbouring rung after an accepted exchange) or fresh when
+// empty. A mid-segment preemption checkpoint in spec.Checkpoint takes
+// precedence over StartState — it is the same run, further along.
+type RepexMDPayload struct {
+	SystemKind string // "ljfluid", "water", "polymer", "peptide"
+	SystemN    int
+	Density    float64
+	BuildSeed  uint64
+	Config     md.Config // Temperature carries this segment's rung
+	// TargetStep is the absolute step count at the segment boundary.
+	// Absolute, not relative: resuming from a mid-segment checkpoint must
+	// stop at the same boundary as the original dispatch.
+	TargetStep int64
+	// CheckpointEvery emits a preemption checkpoint every that many steps.
+	CheckpointEvery int
+	// StartState is the md checkpoint the segment continues from.
+	StartState []byte
+}
+
+// RepexMDOutput reports the segment-boundary state the exchange decision
+// needs: the final potential energy and the checkpoint to hand to the next
+// segment (on this rung or, after an accepted swap, a neighbouring one).
+type RepexMDOutput struct {
+	Potential   float64 // final potential energy U, kJ/mol
+	Temperature float64 // instantaneous kinetic temperature at the boundary
+	Steps       int64
+	State       []byte // md checkpoint at the segment boundary
+}
+
+// RepexMDEngine runs replica-exchange MD segments.
+type RepexMDEngine struct{}
+
+// Name implements Engine.
+func (e *RepexMDEngine) Name() string { return RepexMDName }
+
+// Run implements Engine.
+func (e *RepexMDEngine) Run(ctx context.Context, spec wire.CommandSpec, cores int, progress func([]byte)) ([]byte, error) {
+	var p RepexMDPayload
+	if err := wire.Unmarshal(spec.Payload, &p); err != nil {
+		return nil, fmt.Errorf("engines: repex payload: %w", err)
+	}
+	if p.TargetStep <= 0 {
+		return nil, fmt.Errorf("engines: repex segment with no target step")
+	}
+	mp := MDPayload{SystemKind: p.SystemKind, SystemN: p.SystemN,
+		Density: p.Density, BuildSeed: p.BuildSeed}
+	sys, err := mp.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.Config
+	if cores < 1 {
+		cores = 1
+	}
+	if cfg.Shards <= 0 || cfg.Shards > cores {
+		cfg.Shards = cores
+	}
+	// Checkpoint precedence: a preemption checkpoint is this segment
+	// partway done; StartState is the previous segment's boundary. The
+	// rung temperature always comes from cfg — that is how an accepted
+	// exchange re-thermostats the handed-over configuration.
+	source := spec.Checkpoint
+	if len(source) == 0 {
+		source = p.StartState
+	}
+	var sim *md.Sim
+	if len(source) > 0 {
+		sim, err = md.Resume(sys, cfg, source)
+	} else {
+		sim, err = md.New(sys, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer sim.Close()
+
+	for sim.StepCount() < p.TargetStep {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		chunk := int(p.TargetStep - sim.StepCount())
+		if p.CheckpointEvery > 0 && chunk > p.CheckpointEvery {
+			chunk = p.CheckpointEvery
+		}
+		if err := sim.Step(chunk); err != nil {
+			return nil, err
+		}
+		if p.CheckpointEvery > 0 && progress != nil && sim.StepCount() < p.TargetStep {
+			if ck, cerr := sim.Checkpoint(); cerr == nil {
+				progress(ck)
+			}
+		}
+	}
+	state, err := sim.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	out := RepexMDOutput{
+		Potential:   sim.Energies().Potential(),
+		Temperature: sim.Temperature(),
+		Steps:       sim.StepCount(),
+		State:       state,
+	}
+	return wire.Marshal(&out)
+}

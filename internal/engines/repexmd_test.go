@@ -1,0 +1,111 @@
+package engines
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"copernicus/internal/md"
+	"copernicus/internal/wire"
+)
+
+func repexCfg(temp float64) md.Config {
+	cfg := md.DefaultConfig()
+	cfg.Thermostat = md.NoseHoover
+	cfg.Temperature = temp
+	cfg.Cutoff = 0.7
+	cfg.Skin = 0.1
+	cfg.Shards = 1
+	return cfg
+}
+
+func repexSpec(t *testing.T, p *RepexMDPayload, ck []byte) wire.CommandSpec {
+	t.Helper()
+	payload, err := wire.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.CommandSpec{ID: "rx", Project: "p", Type: RepexMDName,
+		MinCores: 1, MaxCores: 1, Payload: payload, Checkpoint: ck}
+}
+
+// TestRepexMDSegmentChain runs two chained segments with a temperature
+// change at the boundary — the exchange hand-off a controller performs
+// after an accepted swap — and checks the step counter carries through.
+func TestRepexMDSegmentChain(t *testing.T) {
+	eng := &RepexMDEngine{}
+	p1 := &RepexMDPayload{SystemKind: "ljfluid", SystemN: 64, Density: 8,
+		BuildSeed: 1, Config: repexCfg(120), TargetStep: 60}
+	raw1, err := eng.Run(context.Background(), repexSpec(t, p1, nil), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1 RepexMDOutput
+	if err := wire.Unmarshal(raw1, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if out1.Steps != 60 || len(out1.State) == 0 || out1.Potential == 0 {
+		t.Fatalf("segment 1 = %+v", out1)
+	}
+
+	// Segment 2 continues the configuration on a hotter rung.
+	p2 := &RepexMDPayload{SystemKind: "ljfluid", SystemN: 64, Density: 8,
+		BuildSeed: 1, Config: repexCfg(180), TargetStep: 120, StartState: out1.State}
+	raw2, err := eng.Run(context.Background(), repexSpec(t, p2, nil), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 RepexMDOutput
+	if err := wire.Unmarshal(raw2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Steps != 120 {
+		t.Errorf("segment 2 steps = %d, want cumulative 120", out2.Steps)
+	}
+}
+
+// TestRepexMDPreemptionResumeBitwise: a segment preempted mid-way and
+// resumed from its checkpoint must land on exactly the boundary state of
+// an uninterrupted run — REMD failover depends on md's bitwise-exact
+// checkpoint resume surviving the engine layer.
+func TestRepexMDPreemptionResumeBitwise(t *testing.T) {
+	eng := &RepexMDEngine{}
+	p := &RepexMDPayload{SystemKind: "ljfluid", SystemN: 64, Density: 8,
+		BuildSeed: 1, Config: repexCfg(120), TargetStep: 100, CheckpointEvery: 40}
+
+	var ck []byte
+	full, err := eng.Run(context.Background(), repexSpec(t, p, nil), 1, func(c []byte) {
+		if ck == nil {
+			ck = append([]byte(nil), c...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no preemption checkpoint emitted")
+	}
+	resumed, err := eng.Run(context.Background(), repexSpec(t, p, ck), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, resumed) {
+		var a, b RepexMDOutput
+		_ = wire.Unmarshal(full, &a)
+		_ = wire.Unmarshal(resumed, &b)
+		t.Fatalf("resumed output differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestRepexMDErrors(t *testing.T) {
+	eng := &RepexMDEngine{}
+	p := &RepexMDPayload{SystemKind: "ljfluid", SystemN: 16, Config: repexCfg(120)}
+	if _, err := eng.Run(context.Background(), repexSpec(t, p, nil), 1, nil); err == nil {
+		t.Error("zero target step accepted")
+	}
+	p.TargetStep = 10
+	p.SystemKind = "nonsense"
+	if _, err := eng.Run(context.Background(), repexSpec(t, p, nil), 1, nil); err == nil {
+		t.Error("unknown system kind accepted")
+	}
+}

@@ -1,0 +1,334 @@
+package queue
+
+// Gang-scheduling tests: assembly, all-or-nothing dispatch, quota veto
+// (release-on-veto), reassembly after requeue, and a randomized property
+// test proving no operation sequence can leave a gang partially in flight
+// or leak core grants.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"copernicus/internal/wire"
+)
+
+func gangSpec(id, gangID string, size, minC, maxC int) wire.CommandSpec {
+	return wire.CommandSpec{
+		ID: id, Project: "p", Type: "sim", Tenant: "acme",
+		MinCores: minC, MaxCores: maxC,
+		GangID: gangID, GangSize: size,
+	}
+}
+
+func pushGang(t *testing.T, q *Queue, gangID string, size, minC, maxC int) []string {
+	t.Helper()
+	ids := make([]string, size)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-m%d", gangID, i)
+		if err := q.Push(gangSpec(ids[i], gangID, size, minC, maxC)); err != nil {
+			t.Fatalf("push %s: %v", ids[i], err)
+		}
+	}
+	return ids
+}
+
+// TestGangHeldUntilComplete: members do not dispatch until the declared
+// size has arrived, then all dispatch in one workload.
+func TestGangHeldUntilComplete(t *testing.T) {
+	q := New()
+	for i := 0; i < 3; i++ {
+		if err := q.Push(gangSpec(fmt.Sprintf("g-m%d", i), "p/g", 4, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if wl := q.Match(worker(8, "sim")); len(wl.Commands) != 0 {
+			t.Fatalf("incomplete gang dispatched after %d members", i+1)
+		}
+	}
+	if err := q.Push(gangSpec("g-m3", "p/g", 4, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wl := q.Match(worker(8, "sim"))
+	if len(wl.Commands) != 4 {
+		t.Fatalf("complete gang dispatched %d of 4 members", len(wl.Commands))
+	}
+	if queued, _, inflight, ok := q.Gang("p/g"); !ok || queued != 0 || inflight != 4 {
+		t.Fatalf("gang state after dispatch: queued=%d inflight=%d ok=%v", queued, inflight, ok)
+	}
+	for _, c := range wl.Commands {
+		q.Release(c.ID, 1)
+	}
+	if _, _, _, ok := q.Gang("p/g"); ok {
+		t.Fatal("fully released gang not garbage-collected")
+	}
+}
+
+// TestGangNeverSplitAcrossWorkers: a worker whose budget cannot hold the
+// whole gang gets none of it — no member trickles out solo.
+func TestGangNeverSplitAcrossWorkers(t *testing.T) {
+	q := New()
+	pushGang(t, q, "p/g", 4, 2, 2) // needs 8 cores total
+	if wl := q.Match(worker(7, "sim")); len(wl.Commands) != 0 {
+		t.Fatalf("gang needing 8 cores split onto a 7-core worker: %d commands", len(wl.Commands))
+	}
+	wl := q.Match(worker(8, "sim"))
+	if len(wl.Commands) != 4 {
+		t.Fatalf("gang not dispatched whole on a fitting worker: %d", len(wl.Commands))
+	}
+}
+
+// TestGangQuotaVetoReleasesNothing is the release-on-veto satellite: a
+// MaxCores quota that would be breached by the gang's aggregate blocks the
+// whole gang while zero members hold cores, and a solo command that does
+// fit may still pass it by.
+func TestGangQuotaVetoReleasesNothing(t *testing.T) {
+	q := New()
+	q.SetQuota(wire.TenantQuotaUpdate{Tenant: "acme", Weight: 1, MaxQueued: -1, MaxCores: 3, MaxStorageBytes: -1})
+	pushGang(t, q, "p/g", 4, 1, 1) // aggregate 4 > quota 3
+	solo := gangSpec("solo", "", 0, 1, 1)
+	solo.GangID, solo.GangSize = "", 0
+	if err := q.Push(solo); err != nil {
+		t.Fatal(err)
+	}
+	wl := q.Match(worker(16, "sim"))
+	if len(wl.Commands) != 1 || wl.Commands[0].ID != "solo" {
+		t.Fatalf("expected only the solo command past the quota, got %v", wl.Commands)
+	}
+	if got := q.InflightCores("acme"); got != 1 {
+		t.Fatalf("inflight cores = %d, want 1 (no gang member may hold cores)", got)
+	}
+	if queued, _, inflight, ok := q.Gang("p/g"); !ok || queued != 4 || inflight != 0 {
+		t.Fatalf("vetoed gang must stay fully queued: queued=%d inflight=%d", queued, inflight)
+	}
+	// Raising the quota makes the same gang dispatchable.
+	q.SetQuota(wire.TenantQuotaUpdate{Tenant: "acme", Weight: -1, MaxQueued: -1, MaxCores: 8, MaxStorageBytes: -1})
+	if wl := q.Match(worker(16, "sim")); len(wl.Commands) != 4 {
+		t.Fatalf("gang still blocked after quota raise: %d", len(wl.Commands))
+	}
+}
+
+// TestGangReassemblesAfterRequeue models preemption / worker death: the
+// whole gang is released and requeued member by member; it must not
+// redispatch until the last member is back, then go out whole.
+func TestGangReassemblesAfterRequeue(t *testing.T) {
+	q := New()
+	pushGang(t, q, "p/g", 3, 1, 1)
+	wl := q.Match(worker(4, "sim"))
+	if len(wl.Commands) != 3 {
+		t.Fatalf("dispatch: %d", len(wl.Commands))
+	}
+	for i, c := range wl.Commands {
+		q.Release(c.ID, 0)
+		ck := c
+		ck.Checkpoint = []byte("ck")
+		if err := q.Requeue(ck); err != nil {
+			t.Fatalf("requeue %s: %v", c.ID, err)
+		}
+		if i < len(wl.Commands)-1 {
+			if got := q.Match(worker(4, "sim")); len(got.Commands) != 0 {
+				t.Fatalf("partially requeued gang dispatched after %d members back", i+1)
+			}
+		}
+	}
+	wl = q.Match(worker(4, "sim"))
+	if len(wl.Commands) != 3 {
+		t.Fatalf("reassembled gang dispatched %d of 3", len(wl.Commands))
+	}
+	for _, c := range wl.Commands {
+		if string(c.Checkpoint) != "ck" {
+			t.Fatalf("requeued member %s lost its checkpoint", c.ID)
+		}
+	}
+}
+
+// TestGangPushValidation: size and tenant mismatches, and over-full gangs,
+// are rejected before touching quota state.
+func TestGangPushValidation(t *testing.T) {
+	q := New()
+	if err := q.Push(gangSpec("a", "p/g", 3, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := gangSpec("b", "p/g", 4, 1, 1) // size mismatch
+	if err := q.Push(bad); err == nil {
+		t.Error("gang size mismatch accepted")
+	}
+	alien := gangSpec("c", "p/g", 3, 1, 1)
+	alien.Tenant = "zork"
+	if err := q.Push(alien); err == nil {
+		t.Error("cross-tenant gang member accepted")
+	}
+	if err := q.Push(gangSpec("d", "p/g", 3, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(gangSpec("e", "p/g", 3, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(gangSpec("f", "p/g", 3, 1, 1)); err == nil {
+		t.Error("fourth member of a size-3 gang accepted")
+	}
+}
+
+// TestGangPropertyNoPartialDispatchNoLeak is the randomized release-on-veto
+// property test: across thousands of interleaved pushes, matches with
+// random budgets, quota changes, releases, requeues and removals, two
+// invariants must hold after every operation:
+//
+//  1. No partial gang: a gang's members are either all queued or all
+//     dispatched — any Match output contains each gang completely.
+//  2. No leaked grants: per-tenant inflight cores exactly equal the sum of
+//     grants handed out and not yet released, and after draining everything
+//     the count returns to zero.
+func TestGangPropertyNoPartialDispatchNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	clk := newSimClock()
+	q := NewWithConfig(Config{Clock: clk.Now})
+
+	type flight struct {
+		spec  wire.CommandSpec
+		cores int
+	}
+	inflight := map[string]flight{} // dispatched and unreleased
+	granted := map[string]int{}     // tenant → outstanding granted cores
+	gangOf := map[string][]string{} // gangID → member IDs ever created
+	queuedGang := map[string]int{}  // gangID → members currently queued
+	tenants := []string{"a", "b", "c"}
+	nextID := 0
+
+	pushOne := func(tenant string) {
+		id := fmt.Sprintf("s%06d", nextID)
+		nextID++
+		spec := wire.CommandSpec{ID: id, Project: "p", Type: "sim", Tenant: tenant,
+			MinCores: 1 + rng.Intn(3), MaxCores: 1 + rng.Intn(4)}
+		if spec.MaxCores < spec.MinCores {
+			spec.MaxCores = spec.MinCores
+		}
+		_ = q.Push(spec) // may bounce off quotas; fine
+	}
+	pushGangOp := func(tenant string) {
+		size := 2 + rng.Intn(4)
+		gid := fmt.Sprintf("g%06d", nextID)
+		nextID++
+		for i := 0; i < size; i++ {
+			id := fmt.Sprintf("%s-m%d", gid, i)
+			spec := wire.CommandSpec{ID: id, Project: "p", Type: "sim", Tenant: tenant,
+				MinCores: 1 + rng.Intn(2), MaxCores: 2, GangID: gid, GangSize: size}
+			if err := q.Push(spec); err != nil {
+				// Admission bounced a member: withdraw the gang whole, as the
+				// server does for quota-bounced projects.
+				for _, mid := range gangOf[gid] {
+					q.Remove(mid)
+				}
+				delete(gangOf, gid)
+				delete(queuedGang, gid)
+				return
+			}
+			gangOf[gid] = append(gangOf[gid], id)
+			queuedGang[gid]++
+		}
+	}
+	match := func() {
+		budget := 1 + rng.Intn(24)
+		wl := q.Match(wire.WorkerInfo{ID: "w", Cores: budget, Executables: []string{"sim"}})
+		perGang := map[string]int{}
+		for _, c := range wl.Commands {
+			cores := wl.Cores[c.ID]
+			if cores < c.MinCores {
+				t.Fatalf("command %s granted %d < MinCores %d", c.ID, cores, c.MinCores)
+			}
+			inflight[c.ID] = flight{spec: c, cores: cores}
+			granted[c.Tenant] += cores
+			if c.GangID != "" {
+				perGang[c.GangID]++
+				queuedGang[c.GangID] -= 1
+			}
+		}
+		// Invariant 1: every gang present in the workload is complete.
+		for gid, n := range perGang {
+			if n != len(gangOf[gid]) {
+				t.Fatalf("partial gang dispatch: %s got %d of %d members in one workload",
+					gid, n, len(gangOf[gid]))
+			}
+		}
+	}
+	releaseSome := func(requeue bool) {
+		for id, fl := range inflight {
+			if rng.Float64() > 0.5 {
+				continue
+			}
+			q.Release(id, rng.Float64()*3)
+			granted[fl.spec.Tenant] -= fl.cores
+			delete(inflight, id)
+			if requeue {
+				if err := q.Requeue(fl.spec); err != nil {
+					t.Fatalf("requeue %s: %v", id, err)
+				}
+				if fl.spec.GangID != "" {
+					queuedGang[fl.spec.GangID]++
+				}
+			}
+			// Released without requeue = terminal completion; a gang may end
+			// a sweep with some members completed and some still running,
+			// which is legal — completed is neither queued nor granted.
+		}
+	}
+	checkCores := func() {
+		for _, tn := range tenants {
+			if got := q.InflightCores(tn); got != granted[tn] {
+				t.Fatalf("tenant %s inflight cores = %d, queue says %d (leak)", tn, granted[tn], got)
+			}
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		tenant := tenants[rng.Intn(len(tenants))]
+		switch rng.Intn(10) {
+		case 0, 1:
+			pushOne(tenant)
+		case 2, 3:
+			pushGangOp(tenant)
+		case 4, 5, 6:
+			match()
+		case 7:
+			releaseSome(false)
+		case 8:
+			releaseSome(rng.Intn(2) == 0)
+		case 9:
+			// Random quota churn: the dispatch-time veto source.
+			mc := -1
+			if rng.Intn(2) == 0 {
+				mc = rng.Intn(12)
+			}
+			q.SetQuota(wire.TenantQuotaUpdate{Tenant: tenant, Weight: -1,
+				MaxQueued: -1, MaxCores: mc, MaxStorageBytes: -1})
+		}
+		clk.Advance(time.Duration(rng.Intn(500)) * time.Millisecond)
+		checkCores()
+	}
+
+	// Drain: lift quotas, release everything, run matches until empty.
+	for _, tn := range tenants {
+		q.SetQuota(wire.TenantQuotaUpdate{Tenant: tn, Weight: -1, MaxQueued: -1, MaxCores: 0, MaxStorageBytes: -1})
+	}
+	for id, fl := range inflight {
+		q.Release(id, 1)
+		granted[fl.spec.Tenant] -= fl.cores
+		delete(inflight, id)
+	}
+	for i := 0; i < 10000 && q.Len() > 0; i++ {
+		wl := q.Match(wire.WorkerInfo{ID: "w", Cores: 64, Executables: []string{"sim"}})
+		for _, c := range wl.Commands {
+			q.Release(c.ID, 1)
+		}
+		if len(wl.Commands) == 0 {
+			break
+		}
+	}
+	// Whatever remains queued must be incomplete gangs only (members were
+	// withdrawn or completed) — and no tenant may hold inflight cores.
+	for _, tn := range tenants {
+		if got := q.InflightCores(tn); got != 0 {
+			t.Fatalf("tenant %s leaked %d inflight cores after drain", tn, got)
+		}
+	}
+}

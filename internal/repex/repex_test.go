@@ -1,0 +1,199 @@
+package repex
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"copernicus/internal/rng"
+)
+
+func TestLadderGeometric(t *testing.T) {
+	ts, err := Ladder(300, 600, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 8 || ts[0] != 300 || ts[7] != 600 {
+		t.Fatalf("ladder = %v", ts)
+	}
+	ratio := ts[1] / ts[0]
+	for i := 1; i+1 < len(ts); i++ {
+		r := ts[i+1] / ts[i]
+		if math.Abs(r-ratio) > 1e-9 {
+			t.Errorf("rung %d ratio %g != %g (not geometric)", i, r, ratio)
+		}
+	}
+	for _, bad := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{300, 600, 1}, {0, 600, 4}, {600, 300, 4}, {300, 300, 4},
+	} {
+		if _, err := Ladder(bad.lo, bad.hi, bad.n); err == nil {
+			t.Errorf("Ladder(%g,%g,%d) accepted", bad.lo, bad.hi, bad.n)
+		}
+	}
+}
+
+func TestSwapProb(t *testing.T) {
+	// Favourable: the colder replica holds the higher energy — the swap
+	// relaxes both ensembles, so it is always accepted.
+	if p := SwapProb(300, -100, 400, -150); p != 1 {
+		t.Errorf("favourable swap prob = %g, want 1", p)
+	}
+	// Equal energies: Δ = 0 regardless of temperatures.
+	if p := SwapProb(300, -120, 400, -120); p != 1 {
+		t.Errorf("equal-energy swap prob = %g, want 1", p)
+	}
+	// Unfavourable: exact Metropolis factor.
+	ti, ui, tj, uj := 300.0, -150.0, 400.0, -100.0
+	want := math.Exp((1/(KB*ti) - 1/(KB*tj)) * (ui - uj))
+	if p := SwapProb(ti, ui, tj, uj); math.Abs(p-want) > 1e-12 || p >= 1 {
+		t.Errorf("unfavourable swap prob = %g, want %g", p, want)
+	}
+	// Symmetry: exchanging the argument order cannot change the physics.
+	if p, q := SwapProb(ti, ui, tj, uj), SwapProb(tj, uj, ti, ui); math.Abs(p-q) > 1e-12 {
+		t.Errorf("swap prob asymmetric: %g vs %g", p, q)
+	}
+}
+
+func TestAcceptDraw(t *testing.T) {
+	ti, ui, tj, uj := 300.0, -150.0, 400.0, -100.0
+	p := SwapProb(ti, ui, tj, uj)
+	if Accept(ti, ui, tj, uj, p+1e-9) {
+		t.Error("draw above prob accepted")
+	}
+	if !Accept(ti, ui, tj, uj, p-1e-9) {
+		t.Error("draw below prob rejected")
+	}
+}
+
+func TestSweepPairs(t *testing.T) {
+	if got := SweepPairs(6, false); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("even sweep = %v", got)
+	}
+	if got := SweepPairs(6, true); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("odd sweep = %v", got)
+	}
+	// Odd ladder sizes: the last rung idles on one parity.
+	if got := SweepPairs(5, false); len(got) != 2 {
+		t.Errorf("even sweep over 5 = %v", got)
+	}
+	if got := SweepPairs(5, true); len(got) != 2 {
+		t.Errorf("odd sweep over 5 = %v", got)
+	}
+	if got := SweepPairs(2, true); len(got) != 0 {
+		t.Errorf("odd sweep over 2 = %v", got)
+	}
+}
+
+// TestStatsRoundTrip walks one configuration bottom→top→bottom through
+// scripted accepted exchanges and expects exactly one round trip.
+func TestStatsRoundTrip(t *testing.T) {
+	const n = 4
+	s := NewStats(n)
+	// Walker 0 ascends: swap (0,1), (1,2), (2,3).
+	for i := 0; i < n-1; i++ {
+		s.Record(i, true)
+	}
+	if s.WalkerAt[n-1] != 0 {
+		t.Fatalf("walker 0 not at top: %v", s.WalkerAt)
+	}
+	if s.RoundTrips != 0 {
+		t.Fatalf("round trip counted on the way up")
+	}
+	// And descends: swap (2,3), (1,2), (0,1).
+	for i := n - 2; i >= 0; i-- {
+		s.Record(i, true)
+	}
+	if s.WalkerAt[0] != 0 {
+		t.Fatalf("walker 0 not back at bottom: %v", s.WalkerAt)
+	}
+	if s.RoundTrips != 1 {
+		t.Errorf("round trips = %d, want 1", s.RoundTrips)
+	}
+	// Rates: every attempt accepted.
+	for i := 0; i < n-1; i++ {
+		if s.Rate(i) != 1 {
+			t.Errorf("pair %d rate = %g", i, s.Rate(i))
+		}
+	}
+	if s.TotalAccepts() != 2*(n-1) {
+		t.Errorf("total accepts = %d", s.TotalAccepts())
+	}
+}
+
+// TestStatsOscillationNoRoundTrip: bouncing between the bottom two rungs
+// without visiting the top never counts a round trip.
+func TestStatsOscillationNoRoundTrip(t *testing.T) {
+	s := NewStats(4)
+	for k := 0; k < 10; k++ {
+		s.Record(0, true)
+	}
+	if s.RoundTrips != 0 {
+		t.Errorf("round trips = %d from bottom oscillation", s.RoundTrips)
+	}
+}
+
+func TestStatsGobRoundTrip(t *testing.T) {
+	s := NewStats(5)
+	r := rng.New(7)
+	for k := 0; k < 200; k++ {
+		i := int(r.Uint64() % 4)
+		s.Record(i, r.Float64() < 0.4)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	var got Stats
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.RoundTrips != s.RoundTrips || got.TotalAccepts() != s.TotalAccepts() {
+		t.Errorf("decoded stats differ: %+v vs %+v", got, *s)
+	}
+	for i := range s.Attempts {
+		if got.Attempts[i] != s.Attempts[i] || got.Accepts[i] != s.Accepts[i] {
+			t.Errorf("pair %d differs after gob round trip", i)
+		}
+	}
+}
+
+// TestDetailedBalanceSampling: run a two-temperature exchange chain on an
+// analytic harmonic system and check the empirical acceptance rate matches
+// the analytic average ⟨min(1, e^Δ)⟩ within Monte-Carlo error. This pins
+// the sign convention of SwapProb against the physics, not just itself.
+func TestDetailedBalanceSampling(t *testing.T) {
+	const (
+		ti, tj = 300.0, 450.0
+		trials = 20000
+	)
+	r := rng.New(42)
+	// Harmonic oscillator U = x²/2 in kJ/mol: canonical samples at T have
+	// x ~ N(0, sqrt(kB·T)).
+	sample := func(temp float64) float64 {
+		x := r.Norm() * math.Sqrt(KB*temp)
+		return x * x / 2
+	}
+	var accepted, probSum float64
+	for k := 0; k < trials; k++ {
+		ui, uj := sample(ti), sample(tj)
+		p := SwapProb(ti, ui, tj, uj)
+		probSum += p
+		if Accept(ti, ui, tj, uj, r.Float64()) {
+			accepted++
+		}
+	}
+	rate := accepted / trials
+	mean := probSum / trials
+	if math.Abs(rate-mean) > 0.02 {
+		t.Errorf("empirical rate %g vs analytic mean %g", rate, mean)
+	}
+	// The 1D harmonic ladder at 300/450 K exchanges readily; detailed
+	// balance with proper overlap must land well inside (0.5, 1).
+	if rate < 0.5 || rate >= 1 {
+		t.Errorf("acceptance rate %g outside physical range for this ladder", rate)
+	}
+}

@@ -331,9 +331,13 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 			p.mu.Unlock()
 			continue
 		}
+		gangs := make(map[string]int) // gang ID → size, checked after re-seeding
 		for id, cs := range p.commands {
 			if p.state != "running" {
 				break // a terminal orphan failure below failed the project
+			}
+			if cs.spec.GangID != "" {
+				gangs[cs.spec.GangID] = cs.spec.GangSize
 			}
 			switch cs.status {
 			case cmdQueued:
@@ -388,6 +392,12 @@ func (s *Server) reseedQueue() (orphans, queued int) {
 					s.met.requeued.Inc()
 				}
 			}
+		}
+		// Gangs whose members partly finished or failed before the restart
+		// can never refill; demote the re-seeded stragglers to solo. Checked
+		// after the loop so every surviving member is back in the queue.
+		for gid, size := range gangs {
+			s.maybeDemoteGangLocked(p, gid, size)
 		}
 		p.mu.Unlock()
 	}

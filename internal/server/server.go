@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -539,6 +540,13 @@ func (s *Server) statusLocked(p *project) wire.ProjectStatus {
 			st.Running++
 		}
 	}
+	// Plugin-specific live status (e.g. repex exchange acceptance rates).
+	// p.mu is held, which is the same exclusion the event handlers run under.
+	if insp, ok := p.ctrl.(controller.Inspectable); ok {
+		if blob, err := insp.Inspect(); err == nil {
+			st.Detail = blob
+		}
+	}
 	return st
 }
 
@@ -627,6 +635,7 @@ func (c *ctxImpl) Terminate(id string) bool {
 		c.s.q.Release(id, 0)
 	}
 	cs.status = cmdTerminated
+	c.s.maybeDemoteGangLocked(c.p, cs.spec.GangID, cs.spec.GangSize)
 	return true
 }
 
@@ -944,6 +953,8 @@ func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte
 	if len(res.Output) > 0 {
 		s.q.ChargeStorage(cs.spec.Tenant, int64(len(res.Output)))
 	}
+	// A finished member never rejoins its gang; free any queued stragglers.
+	s.maybeDemoteGangLocked(p, cs.spec.GangID, cs.spec.GangSize)
 	if !s.replaying.Load() {
 		s.met.finished.Inc()
 		s.met.resultBytes.Observe(float64(len(res.Output)))
@@ -1125,35 +1136,103 @@ func (s *Server) preemptForStarved() {
 			if cs.status != cmdRunning || len(cs.checkpoint) == 0 {
 				continue
 			}
-			worker := cs.worker
-			cs.preempts++
-			s.q.Release(id, 0)
-			spec := cs.spec
-			spec.Checkpoint = cs.checkpoint
-			cs.status = cmdQueued
-			cs.worker = ""
-			s.journal(store.Record{Type: store.RecCommandPreempted,
-				Project: p.name, Command: id, Worker: worker,
-				Tenant: p.tenant, Count: cs.preempts})
-			if err := s.q.Requeue(spec); err != nil {
-				s.log.Error("requeueing preempted command failed", "cmd", id, "err", err)
-				p.mu.Unlock()
-				return
+			// Gang members are evicted together or not at all: leaving
+			// siblings running while one member requeues would both strand a
+			// half-running gang and free too few cores to matter. The whole
+			// gang counts as this tick's single eviction.
+			evict := []string{id}
+			if gid := cs.spec.GangID; gid != "" {
+				whole := true
+				for sid, sc := range p.commands {
+					if sid == id || sc.spec.GangID != gid || sc.status != cmdRunning {
+						continue
+					}
+					if len(sc.checkpoint) == 0 {
+						whole = false // a sibling would lose its whole run
+						break
+					}
+					evict = append(evict, sid)
+				}
+				if !whole {
+					continue
+				}
+				sort.Strings(evict)
 			}
-			cs.submittedAt = time.Now()
-			cs.dispatchedAt = time.Time{}
-			s.met.preempted.Inc()
-			s.log.Info("preempted command at checkpoint boundary for starved tenant",
-				"cmd", id, "victim_tenant", victim, "victim_cores", cores,
-				"starved_tenant", starved, "worker", worker,
-				"checkpoint_bytes", len(cs.checkpoint))
+			for _, vid := range evict {
+				vc := p.commands[vid]
+				worker := vc.worker
+				vc.preempts++
+				// Release before Requeue, member by member: the queue's gang
+				// bookkeeping reassembles the gang only while the remaining
+				// members are still accounted as in flight.
+				s.q.Release(vid, 0)
+				spec := vc.spec
+				spec.Checkpoint = vc.checkpoint
+				vc.status = cmdQueued
+				vc.worker = ""
+				s.journal(store.Record{Type: store.RecCommandPreempted,
+					Project: p.name, Command: vid, Worker: worker,
+					Tenant: p.tenant, Count: vc.preempts})
+				if err := s.q.Requeue(spec); err != nil {
+					s.log.Error("requeueing preempted command failed", "cmd", vid, "err", err)
+					p.mu.Unlock()
+					return
+				}
+				vc.submittedAt = time.Now()
+				vc.dispatchedAt = time.Time{}
+				s.met.preempted.Inc()
+				s.log.Info("preempted command at checkpoint boundary for starved tenant",
+					"cmd", vid, "gang", vc.spec.GangID,
+					"victim_tenant", victim, "victim_cores", cores,
+					"starved_tenant", starved, "worker", worker,
+					"checkpoint_bytes", len(vc.checkpoint))
+			}
+			// If some gang members had already finished, the requeued rest
+			// can never refill the gang; let them re-run solo.
+			s.maybeDemoteGangLocked(p, cs.spec.GangID, cs.spec.GangSize)
 			p.mu.Unlock()
 			s.mu.Lock()
-			s.preempted[id] = struct{}{}
+			for _, vid := range evict {
+				s.preempted[vid] = struct{}{}
+			}
 			s.mu.Unlock()
 			return
 		}
 		p.mu.Unlock()
+	}
+}
+
+// maybeDemoteGangLocked releases a gang's queued members from the
+// all-or-nothing dispatch barrier once the gang can no longer reassemble.
+// A gang member that finished, failed terminally, or was terminated will
+// never be requeued, so if no member is still running (a running member may
+// yet checkpoint-requeue and complete the set) and fewer than GangSize
+// members sit queued, the stragglers would wait forever behind an
+// impossible barrier; they are demoted to solo commands instead and re-run
+// individually. Called with p.mu held after any member leaves the
+// running/queued cycle.
+func (s *Server) maybeDemoteGangLocked(p *project, gangID string, size int) {
+	if gangID == "" || size <= 0 {
+		return
+	}
+	queued := 0
+	for _, cs := range p.commands {
+		if cs.spec.GangID != gangID {
+			continue
+		}
+		switch cs.status {
+		case cmdRunning:
+			return
+		case cmdQueued:
+			queued++
+		}
+	}
+	if queued == 0 || queued >= size {
+		return
+	}
+	if n := s.q.DemoteGang(gangID); n > 0 {
+		s.log.Info("demoted broken gang's queued members to solo",
+			"gang", gangID, "demoted", n, "size", size)
 	}
 }
 
@@ -1300,6 +1379,10 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 				})
 				s.log.Info("requeued command from checkpoint",
 					"cmd", cmdID, "retry", cs.retries, "checkpoint_bytes", len(cs.checkpoint))
+				// If a gang sibling already failed terminally earlier in this
+				// batch, the gang can never refill; check once the last
+				// running member has left the running state.
+				s.maybeDemoteGangLocked(owner, cs.spec.GangID, cs.spec.GangSize)
 				owner.mu.Unlock()
 				continue
 			}
@@ -1310,6 +1393,7 @@ func (s *Server) recoverCommands(wf wire.WorkerFailed) {
 		cs.status = cmdFailed
 		owner.failed++
 		s.met.failed.Inc()
+		s.maybeDemoteGangLocked(owner, cs.spec.GangID, cs.spec.GangSize)
 		s.log.Warn("command failed terminally", "cmd", cmdID, "project", owner.name, "worker", wf.WorkerID)
 		err := owner.ctrl.CommandFailed(s.contextFor(owner), cs.spec, "worker lost")
 		if err != nil && owner.state == "running" {

@@ -33,6 +33,113 @@ var (
 	frameV1Fixture = []byte("\x00\x00\x00\xf4q\xff\x83\x03\x01\x01\bEnvelope\x01\xff\x84\x00\x01\t\x01\aVersion\x01\x04\x00\x01\x04Type\x01\f\x00\x01\x04From\x01\f\x00\x01\x02To\x01\f\x00\x01\tRequestID\x01\x06\x00\x01\aIsReply\x01\x02\x00\x01\x03TTL\x01\x04\x00\x01\aPayload\x01\n\x00\x01\x03Err\x01\f\x00\x00\x00\xff\x80\xff\x84\x01\x02\x01\x06submit\x01\bclient-1\x01\x05srv-a\x01\a\x02\x10\x01\\=\x7f\x03\x01\x01\rProjectSubmit\x01\xff\x80\x00\x01\x03\x01\x04Name\x01\f\x00\x01\nController\x01\f\x00\x01\x06Params\x01\n\x00\x00\x00\x1d\xff\x80\x01\x06villin\x01\vadaptive-md\x01\x03k=v\x00\x00")
 )
 
+// Captured ProtocolVersion=2 fixtures from before the gang-scheduling
+// fields (CommandSpec.GangID/GangSize) and ProjectStatus.Detail existed.
+// As with the v1 fixtures: do not regenerate from current structs.
+var (
+	// gob(CommandSpec{ID:"cmd-7", Project:"villin", Tenant:"acme",
+	// Origin:"srv-a", Type:"mdrun", MinCores:2, MaxCores:4, Priority:5,
+	// Payload:"steps=500", Checkpoint:"ck"}) encoded when CommandSpec ended
+	// at Checkpoint.
+	specV2PreGangFixture = []byte("\xff\x8c\x7f\x03\x01\x01\vCommandSpec\x01\xff\x80\x00\x01\n\x01\x02ID\x01\f\x00\x01\aProject\x01\f\x00\x01\x06Tenant\x01\f\x00\x01\x06Origin\x01\f\x00\x01\x04Type\x01\f\x00\x01\bMinCores\x01\x04\x00\x01\bMaxCores\x01\x04\x00\x01\bPriority\x01\x04\x00\x01\aPayload\x01\n\x00\x01\nCheckpoint\x01\n\x00\x00\x00;\xff\x80\x01\x05cmd-7\x01\x06villin\x01\x04acme\x01\x05srv-a\x01\x05mdrun\x01\x04\x01\b\x01\n\x01\tsteps=500\x01\x02ck\x00")
+
+	// gob(ProjectStatus{...}) encoded when ProjectStatus ended at Result.
+	statusV2PreGangFixture = []byte("\xff\x9a\xff\x81\x03\x01\x01\rProjectStatus\x01\xff\x82\x00\x01\v\x01\x04Name\x01\f\x00\x01\nController\x01\f\x00\x01\x06Tenant\x01\f\x00\x01\x05State\x01\f\x00\x01\x06Queued\x01\x04\x00\x01\aRunning\x01\x04\x00\x01\bFinished\x01\x04\x00\x01\x06Failed\x01\x04\x00\x01\nGeneration\x01\x04\x00\x01\x04Note\x01\f\x00\x01\x06Result\x01\n\x00\x00\x000\xff\x82\x01\x06villin\x01\x03msm\x01\x04acme\x01\arunning\x01\x04\x01\x06\x01\b\x01\x02\x01\f\x01\x05gen 6\x00")
+)
+
+// TestPreGangCommandSpecDecodesWithZeroGangFields is the gang-scheduling
+// compatibility guarantee: a pre-gang v2 frame decodes with GangID == "" and
+// GangSize == 0 — exactly the "not gang-scheduled" state — and still
+// validates, so a scheduler never mistakes old traffic for a gang (and a
+// worker fed by an old server sees no phantom gang to co-schedule).
+func TestPreGangCommandSpecDecodesWithZeroGangFields(t *testing.T) {
+	var got CommandSpec
+	if err := Unmarshal(specV2PreGangFixture, &got); err != nil {
+		t.Fatalf("pre-gang CommandSpec fixture failed to decode: %v", err)
+	}
+	if got.ID != "cmd-7" || got.Project != "villin" || got.Tenant != "acme" ||
+		got.Origin != "srv-a" || got.Type != "mdrun" || got.MinCores != 2 ||
+		got.MaxCores != 4 || got.Priority != 5 || string(got.Payload) != "steps=500" ||
+		string(got.Checkpoint) != "ck" {
+		t.Errorf("pre-gang fields corrupted: %+v", got)
+	}
+	if got.GangID != "" || got.GangSize != 0 {
+		t.Errorf("gang fields must decode as zero values from pre-gang frames, got GangID=%q GangSize=%d",
+			got.GangID, got.GangSize)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("decoded pre-gang spec should still validate: %v", err)
+	}
+}
+
+func TestPreGangProjectStatusDecodesWithNilDetail(t *testing.T) {
+	var got ProjectStatus
+	if err := Unmarshal(statusV2PreGangFixture, &got); err != nil {
+		t.Fatalf("pre-gang ProjectStatus fixture failed to decode: %v", err)
+	}
+	if got.Name != "villin" || got.Controller != "msm" || got.Tenant != "acme" ||
+		got.State != "running" || got.Queued != 2 || got.Running != 3 ||
+		got.Finished != 4 || got.Failed != 1 || got.Generation != 6 || got.Note != "gen 6" {
+		t.Errorf("pre-gang fields corrupted: %+v", got)
+	}
+	if got.Detail != nil {
+		t.Errorf("Detail must decode as nil from pre-gang frames, got %q", got.Detail)
+	}
+}
+
+// TestGangSpecDecodesByPreGangShape covers the reverse direction: a gang
+// command decodes under the pre-gang field set (gob drops unknown fields) —
+// which is precisely why an old worker cannot tell a gang member from a solo
+// command, and why the current worker re-checks gang completeness of every
+// workload instead of trusting the dispatcher.
+func TestGangSpecDecodesByPreGangShape(t *testing.T) {
+	type commandSpecPreGang struct {
+		ID         string
+		Project    string
+		Tenant     string
+		Origin     string
+		Type       string
+		MinCores   int
+		MaxCores   int
+		Priority   int
+		Payload    []byte
+		Checkpoint []byte
+	}
+	raw, err := Marshal(&CommandSpec{
+		ID: "rx-e00001-r03", Project: "remd", Type: "repex-md",
+		MinCores: 1, MaxCores: 1, GangID: "remd/e00001", GangSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got commandSpecPreGang
+	if err := Unmarshal(raw, &got); err != nil {
+		t.Fatalf("gang spec failed to decode under pre-gang shape: %v", err)
+	}
+	if got.ID != "rx-e00001-r03" || got.Project != "remd" || got.Type != "repex-md" {
+		t.Errorf("shared fields corrupted: %+v", got)
+	}
+}
+
+func TestGangSpecValidate(t *testing.T) {
+	base := CommandSpec{ID: "c1", Project: "p", Type: "mdrun", MinCores: 1, MaxCores: 1}
+	ok := base
+	ok.GangID, ok.GangSize = "p/e0", 2
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid gang spec rejected: %v", err)
+	}
+	orphanSize := base
+	orphanSize.GangSize = 3
+	if err := orphanSize.Validate(); err == nil {
+		t.Error("GangSize without GangID must be rejected")
+	}
+	tiny := base
+	tiny.GangID, tiny.GangSize = "p/e0", 1
+	if err := tiny.Validate(); err == nil {
+		t.Error("gang of one must be rejected")
+	}
+}
+
 func TestOldProjectSubmitDecodesWithZeroTenantFields(t *testing.T) {
 	var got ProjectSubmit
 	if err := Unmarshal(submitV1Fixture, &got); err != nil {

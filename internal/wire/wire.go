@@ -24,6 +24,13 @@ import (
 // fields at their zero values), but the hello/join handshake refuses a
 // version-skewed peer with ErrProtoVersion so an old node fails cleanly
 // instead of mis-decoding newer control messages.
+//
+// The gang-scheduling fields (CommandSpec.GangID/GangSize) and
+// ProjectStatus.Detail ride within version 2: frames captured before they
+// existed decode with the fields at their zero values (no gang, no detail),
+// and workers independently verify gang completeness of a workload, so a
+// mixed-fleet worker rejects a gang command it cannot co-schedule instead
+// of silently running it solo.
 const ProtocolVersion = 2
 
 // ErrProtoVersion is the sentinel for cross-version handshake and envelope
@@ -188,6 +195,18 @@ type CommandSpec struct {
 	Priority   int
 	Payload    []byte
 	Checkpoint []byte
+	// GangID groups coupled commands that must be admitted, quota-charged
+	// and dispatched all-or-nothing (replica-exchange epochs are the
+	// canonical producer). Members of a gang share a tenant and are handed
+	// to a single worker in one workload — either every member gets cores or
+	// none hold any. Empty = not gang-scheduled. Gang IDs must be globally
+	// unique; producers prefix them with the project name. Decodes as ""
+	// from pre-gang frames.
+	GangID string
+	// GangSize is the declared member count of the gang; the scheduler
+	// holds members back until all of them are queued. Decodes as 0 from
+	// pre-gang frames, and 0 with an empty GangID means not gang-scheduled.
+	GangSize int
 }
 
 // Validate checks structural invariants of the spec.
@@ -206,6 +225,13 @@ func (c *CommandSpec) Validate() error {
 	}
 	if c.MaxCores < c.MinCores {
 		return fmt.Errorf("wire: command %s has MaxCores %d < MinCores %d", c.ID, c.MaxCores, c.MinCores)
+	}
+	if c.GangID == "" && c.GangSize != 0 {
+		return fmt.Errorf("wire: command %s has GangSize %d without a GangID", c.ID, c.GangSize)
+	}
+	if c.GangID != "" && c.GangSize < 2 {
+		return fmt.Errorf("wire: command %s in gang %q needs GangSize >= 2, got %d",
+			c.ID, c.GangID, c.GangSize)
 	}
 	return nil
 }
@@ -333,6 +359,11 @@ type ProjectStatus struct {
 	Generation int
 	Note       string
 	Result     []byte // non-nil once the project has finished
+	// Detail is an optional controller-specific status blob (gob), filled
+	// when the project's controller exposes live structured state — the
+	// repex controller publishes its exchange-acceptance statistics here.
+	// Decodes as nil from pre-gang frames.
+	Detail []byte
 }
 
 // ReplJoin is a standby's registration with its primary. AppliedSeq lets the

@@ -1,7 +1,7 @@
 # Convenience targets; scripts/ci.sh is the canonical gate.
 GO ?= go
 
-.PHONY: all build vet test race chaos crash failover tenants repex ci bench fmt
+.PHONY: all build vet test race chaos crash failover tenants repex stream ci bench fmt
 
 all: build
 
@@ -19,7 +19,8 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/server/... \
 		./internal/worker/... ./internal/queue/... ./internal/overlay/... \
-		./internal/store/... ./internal/store/replica/... ./internal/repex/...
+		./internal/store/... ./internal/store/replica/... ./internal/repex/... \
+		./internal/msm/...
 
 # Chaos soak: the MSM pipeline completing under seeded fault injection
 # (25% dropped writes, partial frames, a forced full partition) — see
@@ -51,6 +52,13 @@ tenants:
 # window — see docs/SCHEDULING.md ("Gang scheduling").
 repex:
 	$(GO) test -race -run TestRepexDES -v -timeout 300s ./internal/des/
+
+# The streaming-analysis scenario: incremental mini-batch clustering vs
+# full batch reclustering over a 20-round adaptive campaign, on the real
+# internal/msm code — flat per-round analysis cost, ≥5× cheaper by round
+# 20 — see docs/PERFORMANCE.md ("Streaming analysis").
+stream:
+	$(GO) test -race -run TestStreamAnalysisDES -v -timeout 300s ./internal/des/
 
 ci:
 	sh scripts/ci.sh

@@ -15,6 +15,7 @@
 // Controller flags (submit):
 //
 //	msm: -generations -clusters -starts -tasks -segment-ns -weighting
+//	     -stream -stream-every-ns -converge-tol -converge-checks
 //	bar: -windows -samples -target-stderr -delta-f
 //	repex: -replicas -t-min -t-max -mode -segment-steps -epochs
 //
@@ -136,6 +137,10 @@ func submit(cl *client.Client, args []string) {
 	tasks := fs.Int("tasks", 25, "msm: trajectories per start")
 	segment := fs.Float64("segment-ns", 50, "msm: command length in ns")
 	weighting := fs.String("weighting", "adaptive", "msm: adaptive or even")
+	stream := fs.Bool("stream", false, "msm: stream frame chunks + incremental clustering")
+	streamEvery := fs.Float64("stream-every-ns", 0, "msm: worker flush interval in ns (0 = 5×frame)")
+	convTol := fs.Float64("converge-tol", 0, "msm: population-convergence TV tolerance (0 = default)")
+	convChecks := fs.Int("converge-checks", 0, "msm: consecutive passing checks per generation (0 = default)")
 	// BAR flags.
 	windows := fs.Int("windows", 5, "bar: lambda windows")
 	samples := fs.Int("samples", 500, "bar: samples per command")
@@ -172,6 +177,10 @@ func submit(cl *client.Client, args []string) {
 		p.TasksPerStart = *tasks
 		p.SegmentNs = *segment
 		p.Seed = *seed
+		p.Stream = *stream
+		p.StreamEveryNs = *streamEvery
+		p.ConvergeTol = *convTol
+		p.ConvergeChecks = *convChecks
 		switch *weighting {
 		case "adaptive":
 			p.Weighting = msm.AdaptiveWeighting

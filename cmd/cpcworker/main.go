@@ -50,6 +50,7 @@ func main() {
 	flag.StringVar(spool, "spool", "", "deprecated alias for -spool-dir")
 	resultSpool := flag.String("result-spool-dir", "", "directory to spool undeliverable results for redelivery; empty disables")
 	flag.StringVar(resultSpool, "result-spool", "", "deprecated alias for -result-spool-dir")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for local engine-checkpoint durability; a restarted worker resumes re-dispatched commands from here (empty disables)")
 	retryAttempts := flag.Int("retry-attempts", 0, "max attempts per overlay request (0 = default)")
 	retryBase := flag.Duration("retry-base-delay", 0, "initial retry backoff (0 = default)")
 	retryMax := flag.Duration("retry-max-delay", 0, "backoff cap (0 = default)")
@@ -126,6 +127,7 @@ func main() {
 		},
 		ServerAddrs:    servers,
 		ResultSpoolDir: *resultSpool,
+		CheckpointDir:  *ckptDir,
 		FSToken:        *fsToken,
 		SpoolDir:       *spool,
 		Obs:            o,

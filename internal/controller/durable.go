@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"copernicus/internal/landscape"
+	"copernicus/internal/msm"
 	"copernicus/internal/repex"
 	"copernicus/internal/rng"
 	"copernicus/internal/wire"
@@ -50,6 +51,14 @@ type msmState struct {
 	FirstNearNativeGen int
 	Stats              []GenerationStats
 	SegTarget          int
+	// Streaming-mode state. All fields decode as zero values from
+	// pre-streaming snapshots (Stream stays nil → batch mode).
+	Stream      *msm.StreamState
+	CmdStreamed map[string]int
+	CmdBase     map[string]float64
+	LastPops    []float64
+	ConvOK      int
+	Converged   bool
 }
 
 // SaveState implements Durable.
@@ -71,6 +80,15 @@ func (c *MSMController) SaveState() ([]byte, error) {
 		FirstNearNativeGen: c.firstNearNativeGen,
 		Stats:              c.stats,
 		SegTarget:          c.segTarget,
+		CmdStreamed:        c.cmdStreamed,
+		CmdBase:            c.cmdBase,
+		LastPops:           c.lastPops,
+		ConvOK:             c.convOK,
+		Converged:          c.converged,
+	}
+	if c.stream != nil {
+		ss := c.stream.State()
+		st.Stream = &ss
 	}
 	for _, id := range c.order {
 		tr := c.trajs[id]
@@ -121,6 +139,24 @@ func (c *MSMController) RestoreState(data []byte) error {
 	c.firstNearNativeGen = st.FirstNearNativeGen
 	c.stats = st.Stats
 	c.segTarget = st.SegTarget
+	if st.Stream != nil {
+		stream, err := msm.RestoreStream(*st.Stream)
+		if err != nil {
+			return fmt.Errorf("msm controller: stream state: %w", err)
+		}
+		c.stream = stream
+		c.cmdStreamed = st.CmdStreamed
+		if c.cmdStreamed == nil {
+			c.cmdStreamed = make(map[string]int)
+		}
+		c.cmdBase = st.CmdBase
+		if c.cmdBase == nil {
+			c.cmdBase = make(map[string]float64)
+		}
+		c.lastPops = st.LastPops
+		c.convOK = st.ConvOK
+		c.converged = st.Converged
+	}
 	c.genStart = time.Now() // wall-clock restarts; durations exclude downtime
 	return nil
 }

@@ -49,6 +49,28 @@ type MSMParams struct {
 
 	MinCores, MaxCores int
 	Seed               uint64
+
+	// Stream enables the incremental analysis pipeline: workers flush frame
+	// chunks every StreamEveryNs as they simulate, the controller digests
+	// them through a mini-batch clusterer with per-trajectory watermarks,
+	// and a generation triggers when the model's state populations converge
+	// instead of after a fixed segment count (SegmentsPerGen stays as the
+	// hard cap). Off by default so the batch pipeline remains the A/B
+	// reference. All stream fields decode as zero values from pre-streaming
+	// parameter blobs.
+	Stream bool
+	// StreamEveryNs is the worker flush interval (0 defaults to 5×FrameNs).
+	StreamEveryNs float64
+	// StreamMinDist is the mini-batch clusterer's novelty threshold for
+	// founding new centers (0 admits any distinct frame).
+	StreamMinDist float64
+	// ConvergeTol is the total-variation distance between consecutive
+	// state-population estimates below which a convergence check passes
+	// (0 defaults to 0.02).
+	ConvergeTol float64
+	// ConvergeChecks is how many consecutive passing checks trigger the
+	// generation step (0 defaults to 3).
+	ConvergeChecks int
 }
 
 // DefaultMSMParams returns the paper's villin protocol scaled to reproduce
@@ -105,6 +127,17 @@ func (p *MSMParams) validate() error {
 	if p.NearNativeRMSD <= 0 {
 		p.NearNativeRMSD = 0.7
 	}
+	if p.Stream {
+		if p.StreamEveryNs <= 0 {
+			p.StreamEveryNs = 5 * p.FrameNs
+		}
+		if p.ConvergeTol <= 0 {
+			p.ConvergeTol = 0.02
+		}
+		if p.ConvergeChecks <= 0 {
+			p.ConvergeChecks = 3
+		}
+	}
 	return nil
 }
 
@@ -121,6 +154,13 @@ type GenerationStats struct {
 	TopStatePi    float64 // its stationary probability
 	FoldedPiFrac  float64 // stationary probability of the folded set
 	SpawnedStates int     // distinct states new trajectories started from
+	// AnalysisSeconds is the wall time of this generation's model-building
+	// step alone (clustering + counting + stationary analysis) — the
+	// quantity the streaming pipeline flattens. Decodes as 0 from
+	// pre-streaming result blobs.
+	AnalysisSeconds float64
+	// Streamed marks generations built by the incremental pipeline.
+	Streamed bool
 }
 
 // TrajRecord tracks one trajectory's per-generation progress for Fig 2.
@@ -197,6 +237,23 @@ type MSMController struct {
 	// genStart marks when the current generation's cohort was launched, so
 	// clusterAndRespawn can report the generation's wall time.
 	genStart time.Time
+
+	// Streaming-mode state (all zero when p.Stream is false).
+	stream *msm.StreamClusterer
+	// cmdStreamed is the per-command frame watermark: index one past the
+	// last frame already folded into the trajectory via chunks. It is what
+	// makes chunk re-delivery and the final result's full frame set
+	// idempotent.
+	cmdStreamed map[string]int
+	// cmdBase is the trajectory's cumulative time at segment submission, so
+	// chunk-local times convert to trajectory times.
+	cmdBase map[string]float64
+	// lastPops is the previous convergence check's normalized state
+	// population vector; convOK counts consecutive passing checks;
+	// converged latches the generation trigger while stragglers drain.
+	lastPops  []float64
+	convOK    int
+	converged bool
 }
 
 // NewMSMController returns an uninitialised MSM controller; Start must run
@@ -230,6 +287,22 @@ func (c *MSMController) Start(ctx Context, params []byte) error {
 	}
 	c.rand = rng.New(c.p.Seed ^ ctx.Seed())
 	c.segTarget = c.p.SegmentsPerGen
+	if c.p.Stream {
+		lagFrames := int(c.p.LagNs/c.p.FrameNs + 0.5)
+		if lagFrames < 1 {
+			lagFrames = 1
+		}
+		c.stream, err = msm.NewStreamClusterer(msm.StreamConfig{
+			K:       c.p.Clusters,
+			Lag:     lagFrames,
+			MinDist: c.p.StreamMinDist,
+		})
+		if err != nil {
+			return err
+		}
+		c.cmdStreamed = make(map[string]int)
+		c.cmdBase = make(map[string]float64)
+	}
 
 	for s := 0; s < c.p.NStarts; s++ {
 		start := c.model.UnfoldedStart(s, c.p.Seed)
@@ -261,17 +334,25 @@ func (c *MSMController) spawnTrajectory(ctx Context, x []float64) error {
 	c.noteRMSD(tr, tr.rmsd[0])
 	c.trajs[id] = tr
 	c.order = append(c.order, id)
+	if c.stream != nil {
+		// The batch pipeline discretises frame 0 with the rest; the
+		// incremental model must see it too.
+		if _, err := c.stream.Observe(id, tr.frames[0]); err != nil {
+			return err
+		}
+	}
 	return c.submitSegment(ctx, tr)
 }
 
 // submitSegment queues the next 50-ns command for a trajectory.
 func (c *MSMController) submitSegment(ctx Context, tr *msmTraj) error {
 	payload, err := wire.Marshal(&engines.LandscapePayload{
-		Params:     c.p.Landscape,
-		Start:      tr.current,
-		DurationNs: c.p.SegmentNs,
-		FrameNs:    c.p.FrameNs,
-		Seed:       c.rand.Uint64(),
+		Params:        c.p.Landscape,
+		Start:         tr.current,
+		DurationNs:    c.p.SegmentNs,
+		FrameNs:       c.p.FrameNs,
+		Seed:          c.rand.Uint64(),
+		StreamEveryNs: c.p.StreamEveryNs,
 	})
 	if err != nil {
 		return err
@@ -289,6 +370,9 @@ func (c *MSMController) submitSegment(ctx Context, tr *msmTraj) error {
 		return err
 	}
 	c.inFlight[cmdID] = tr.id
+	if c.stream != nil {
+		c.cmdBase[cmdID] = tr.times[len(tr.times)-1]
+	}
 	return nil
 }
 
@@ -329,19 +413,40 @@ func (c *MSMController) CommandFinished(ctx Context, res *wire.CommandResult) er
 		return fmt.Errorf("msm controller: segment for %s returned %d frames", trajID, len(out.Frames))
 	}
 	// Frame 0 duplicates the previous segment end; skip it when appending.
+	// In streaming mode the watermark may sit further in: everything below
+	// it already arrived via chunks, and the final blob's copy of those
+	// frames is bitwise identical (deterministic engine), so skipping is
+	// lossless.
+	w := 1
 	base := tr.times[len(tr.times)-1]
-	for i := 1; i < len(out.Frames); i++ {
+	if c.stream != nil {
+		base = c.cmdBase[res.CommandID]
+		if s := c.cmdStreamed[res.CommandID]; s > w {
+			w = s
+		}
+		delete(c.cmdStreamed, res.CommandID)
+		delete(c.cmdBase, res.CommandID)
+	}
+	for i := w; i < len(out.Frames); i++ {
 		tr.times = append(tr.times, base+out.Times[i])
 		tr.frames = append(tr.frames, out.Frames[i])
 		tr.rmsd = append(tr.rmsd, out.RMSD[i])
 		c.noteRMSD(tr, out.RMSD[i])
+		if c.stream != nil {
+			if _, serr := c.stream.Observe(tr.id, out.Frames[i]); serr != nil {
+				return serr
+			}
+		}
 	}
 	tr.current = append(tr.current[:0], out.Frames[len(out.Frames)-1]...)
 	c.segDone++
 
-	if c.segDone >= c.p.SegmentsPerGen {
+	if c.stream != nil {
+		c.checkConvergence(ctx)
+	}
+	if c.segDone >= c.p.SegmentsPerGen || c.converged {
 		if len(c.inFlight) == 0 {
-			return c.clusterAndRespawn(ctx)
+			return c.generation(ctx)
 		}
 		return nil // wait for stragglers; no further extensions
 	}
@@ -352,9 +457,108 @@ func (c *MSMController) CommandFinished(ctx Context, res *wire.CommandResult) er
 		return c.submitSegment(ctx, tr)
 	}
 	if len(c.inFlight) == 0 && c.segDone >= c.p.SegmentsPerGen {
-		return c.clusterAndRespawn(ctx)
+		return c.generation(ctx)
 	}
 	return nil
+}
+
+// FrameChunk implements FrameSink: fold streamed frames into the owning
+// trajectory and the incremental model the moment they arrive, deduped by
+// the per-command frame watermark. With streaming disabled it is a no-op —
+// the final result blob carries every frame either way.
+func (c *MSMController) FrameChunk(ctx Context, chunk *wire.FrameChunk) error {
+	if c.stream == nil {
+		return nil
+	}
+	trajID, ok := c.inFlight[chunk.CommandID]
+	if !ok {
+		return nil // settled or terminated command
+	}
+	if len(chunk.Times) != len(chunk.Frames) || len(chunk.RMSD) != len(chunk.Frames) {
+		return fmt.Errorf("msm controller: ragged frame chunk for %s", chunk.CommandID)
+	}
+	tr := c.trajs[trajID]
+	w := c.cmdStreamed[chunk.CommandID]
+	if w < 1 {
+		w = 1 // frame 0 is the start conformation the trajectory already holds
+	}
+	if chunk.FirstFrame > w {
+		return nil // gap: the final result blob delivers the range intact
+	}
+	base := c.cmdBase[chunk.CommandID]
+	for i, f := range chunk.Frames {
+		if chunk.FirstFrame+i < w {
+			continue // re-delivered prefix (deterministic resume overlap)
+		}
+		tr.times = append(tr.times, base+chunk.Times[i])
+		tr.frames = append(tr.frames, f)
+		tr.rmsd = append(tr.rmsd, chunk.RMSD[i])
+		c.noteRMSD(tr, chunk.RMSD[i])
+		if _, err := c.stream.Observe(trajID, f); err != nil {
+			return err
+		}
+	}
+	if end := chunk.FirstFrame + len(chunk.Frames); end > w {
+		c.cmdStreamed[chunk.CommandID] = end
+	}
+	return nil
+}
+
+// checkConvergence runs one population-convergence check: the normalized
+// state-population vector (transition-count row sums) is compared to the
+// previous check's by total-variation distance, and ConvergeChecks
+// consecutive distances under ConvergeTol latch the generation trigger.
+// Checks start only after a full cohort round of segments, so a generation
+// can never fire off nearly-empty counts.
+func (c *MSMController) checkConvergence(ctx Context) {
+	if c.converged {
+		return
+	}
+	minSegs := c.p.NStarts * c.p.TasksPerStart
+	if minSegs > c.p.SegmentsPerGen {
+		minSegs = c.p.SegmentsPerGen
+	}
+	if c.segDone < minSegs {
+		return
+	}
+	counts := c.stream.Counts()
+	total := counts.Total()
+	if total <= 0 {
+		return
+	}
+	pops := make([]float64, counts.N())
+	for i := range pops {
+		pops[i] = counts.RowSum(i) / total
+	}
+	if c.lastPops != nil {
+		delta := 0.0
+		for i, p := range pops {
+			delta += math.Abs(p - c.lastPops[i])
+		}
+		delta /= 2
+		if delta < c.p.ConvergeTol {
+			c.convOK++
+		} else {
+			c.convOK = 0
+		}
+		if c.convOK >= c.p.ConvergeChecks {
+			c.converged = true
+			ctx.Logf("msm: state populations converged (TV %.4g < %g for %d checks) after %d segments",
+				delta, c.p.ConvergeTol, c.convOK, c.segDone)
+		}
+	}
+	c.lastPops = pops
+}
+
+// generation runs the round-end step for the current mode. The final
+// generation always takes the batch path, even in streaming mode: finish()
+// builds the publication figures from a full clustering of the retained
+// trajectories, so the end-of-project analysis is identical in both modes.
+func (c *MSMController) generation(ctx Context) error {
+	if c.stream != nil && c.gen < c.p.Generations-1 {
+		return c.generationStream(ctx)
+	}
+	return c.clusterAndRespawn(ctx)
 }
 
 // CommandFailed implements Controller: resubmission is handled by the
@@ -369,11 +573,97 @@ func (c *MSMController) CommandFailed(ctx Context, cmd wire.CommandSpec, reason 
 	if tr := c.trajs[trajID]; tr != nil {
 		tr.alive = false
 	}
+	delete(c.cmdStreamed, cmd.ID)
+	delete(c.cmdBase, cmd.ID)
 	ctx.Logf("msm: command %s failed terminally (%s); trajectory %s abandoned", cmd.ID, reason, trajID)
 	c.p.SegmentsPerGen-- // one fewer segment can ever arrive this generation
-	if c.segDone >= c.p.SegmentsPerGen && len(c.inFlight) == 0 {
-		return c.clusterAndRespawn(ctx)
+	if (c.segDone >= c.p.SegmentsPerGen || c.converged) && len(c.inFlight) == 0 {
+		return c.generation(ctx)
 	}
+	return nil
+}
+
+// generationStream is the incremental generation step: the live mini-batch
+// model already folded in every frame as it arrived, so the round-end
+// analysis works on the accumulated counts and centers directly — no
+// reclustering, no rediscretisation — and its cost is O(K²) in the state
+// budget, flat in campaign age, instead of the batch path's O(all frames).
+func (c *MSMController) generationStream(ctx Context) error {
+	analysisStart := time.Now()
+	counts := c.stream.Counts()
+	centers := c.stream.Centers()
+	tm := counts.TransitionMatrix(0)
+	tm.Lag = c.p.LagNs
+	lcs := tm.LargestConnectedSet()
+	rt, mapping := tm.Restrict(lcs)
+	rt.Lag = c.p.LagNs
+
+	topLocal, topPi := rt.EquilibriumTopState()
+	topState := mapping[topLocal]
+	topRMSD := math.Inf(1)
+	if topState < len(centers) {
+		topRMSD = c.model.RMSD(centers[topState])
+	}
+	pi := rt.StationaryDistribution(1e-12, 10000)
+	foldedPi := 0.0
+	for local, orig := range mapping {
+		if orig < len(centers) && c.model.RMSD(centers[orig]) <= c.p.Landscape.FoldedRMSD {
+			foldedPi += pi[local]
+		}
+	}
+	uncertainty := msm.StateUncertainty(counts)
+	total := c.p.NStarts * c.p.TasksPerStart
+	spawn, err := msm.SpawnCounts(c.p.Weighting, lcs, uncertainty, total, c.p.Seed^uint64(c.gen+1)*0x9E37)
+	if err != nil {
+		return fmt.Errorf("msm controller: spawning: %w", err)
+	}
+	gs := GenerationStats{
+		Generation:      c.gen,
+		SegmentsDone:    c.segDone,
+		FramesTotal:     c.stream.Frames(),
+		SimulatedNs:     c.totalNs(),
+		MinRMSD:         c.minRMSD,
+		States:          len(lcs),
+		TopStateRMSD:    topRMSD,
+		TopStatePi:      topPi,
+		FoldedPiFrac:    foldedPi,
+		SpawnedStates:   len(spawn),
+		AnalysisSeconds: time.Since(analysisStart).Seconds(),
+		Streamed:        true,
+	}
+	c.stats = append(c.stats, gs)
+	c.observeGeneration(ctx, gs)
+
+	// Terminate the old cohort (releasing its bounded assignment rings) and
+	// spawn the next one from the live centers.
+	for _, tr := range c.trajs {
+		tr.alive = false
+		c.stream.DropTrajectory(tr.id)
+	}
+	c.gen++
+	c.segDone = 0
+	c.p.SegmentsPerGen = c.segTarget
+	c.converged = false
+	c.convOK = 0
+	c.lastPops = nil
+	states := make([]int, 0, len(spawn))
+	for s := range spawn {
+		states = append(states, s)
+	}
+	sort.Ints(states)
+	for _, s := range states {
+		if s >= len(centers) {
+			continue // unvisited budget state: nothing to restart from
+		}
+		start := centers[s]
+		for k := 0; k < spawn[s]; k++ {
+			if err := c.spawnTrajectory(ctx, start); err != nil {
+				return err
+			}
+		}
+	}
+	ctx.SetStatus(c.gen, fmt.Sprintf("generation %d (streamed): spawned %d trajectories from %d states (min RMSD %.2f Å)",
+		c.gen, total, len(spawn), c.minRMSD))
 	return nil
 }
 
@@ -381,6 +671,7 @@ func (c *MSMController) CommandFailed(ctx Context, cmd wire.CommandSpec, reason 
 // so far, build the transition matrix, record statistics, and either spawn
 // the next generation or finish the project.
 func (c *MSMController) clusterAndRespawn(ctx Context) error {
+	analysisStart := time.Now()
 	points := c.allFrames()
 	k := c.p.Clusters
 	clu, err := msm.KCenters(points, k, c.p.Seed+uint64(c.gen))
@@ -420,15 +711,16 @@ func (c *MSMController) clusterAndRespawn(ctx Context) error {
 	}
 
 	gs := GenerationStats{
-		Generation:   c.gen,
-		SegmentsDone: c.segDone,
-		FramesTotal:  len(points),
-		SimulatedNs:  c.totalNs(),
-		MinRMSD:      c.minRMSD,
-		States:       len(lcs),
-		TopStateRMSD: topRMSD,
-		TopStatePi:   topPi,
-		FoldedPiFrac: foldedPi,
+		Generation:      c.gen,
+		SegmentsDone:    c.segDone,
+		FramesTotal:     len(points),
+		SimulatedNs:     c.totalNs(),
+		MinRMSD:         c.minRMSD,
+		States:          len(lcs),
+		TopStateRMSD:    topRMSD,
+		TopStatePi:      topPi,
+		FoldedPiFrac:    foldedPi,
+		AnalysisSeconds: time.Since(analysisStart).Seconds(),
 	}
 
 	lastGen := c.gen == c.p.Generations-1
@@ -491,6 +783,9 @@ func (c *MSMController) observeGeneration(ctx Context, gs GenerationStats) {
 	o.Metrics.Gauge("copernicus_msm_states",
 		"Markov states in the largest connected set at the latest generation.", l).
 		Set(float64(gs.States))
+	o.Metrics.Histogram("copernicus_msm_analysis_seconds",
+		"Wall time of the per-generation model-building step alone (clustering, counting, stationary analysis).",
+		obs.DefBuckets(), l).Observe(gs.AnalysisSeconds)
 	o.Trace.Record(obs.Span{
 		Stage:    obs.StageController,
 		Project:  ctx.ProjectName(),

@@ -1,0 +1,113 @@
+package des
+
+import "testing"
+
+// TestStreamAnalysisDES is the streaming-analysis acceptance scenario: over
+// a 20-round adaptive campaign, per-round incremental analysis cost stays
+// flat while batch reclustering grows linearly, and by round 20 the
+// incremental path is at least 5× cheaper. Assertions lean on the
+// deterministic work-unit model; wall-time checks use generous factors so
+// loaded CI machines don't flake them.
+func TestStreamAnalysisDES(t *testing.T) {
+	p := DefaultStreamAnalysisParams()
+	res, err := SimulateStreamAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != p.Rounds {
+		t.Fatalf("got %d rounds, want %d", len(res.Rounds), p.Rounds)
+	}
+
+	// Flat incremental cost: once the center budget is full (first round —
+	// it sees far more frames than K), every round touches the same number
+	// of frames against the same number of centers.
+	first := res.Rounds[0]
+	for _, sr := range res.Rounds[1:] {
+		if sr.IncrementalUnits != first.IncrementalUnits {
+			t.Errorf("round %d: incremental units %.0f != round 1's %.0f (not flat)",
+				sr.Round, sr.IncrementalUnits, first.IncrementalUnits)
+		}
+	}
+	// Batch cost grows strictly with the campaign.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].BatchUnits <= res.Rounds[i-1].BatchUnits {
+			t.Errorf("round %d: batch units %.0f did not grow past %.0f",
+				res.Rounds[i].Round, res.Rounds[i].BatchUnits, res.Rounds[i-1].BatchUnits)
+		}
+	}
+
+	// The acceptance bound: ≥5× cheaper than a full recluster by round 20,
+	// in both the deterministic model and the measured wall time of the
+	// real clustering code.
+	if s := res.UnitSpeedup(20); s < 5 {
+		t.Errorf("unit speedup at round 20 = %.1f×, want ≥ 5×", s)
+	}
+	if s := res.MeasuredSpeedup(20); s < 5 {
+		t.Errorf("measured speedup at round 20 = %.1f×, want ≥ 5×", s)
+	}
+	if res.IncrementalTotalSeconds <= 0 ||
+		res.BatchTotalSeconds/res.IncrementalTotalSeconds < 5 {
+		t.Errorf("campaign totals: batch %.3fs vs incremental %.3fs, want ≥ 5× apart",
+			res.BatchTotalSeconds, res.IncrementalTotalSeconds)
+	}
+
+	// Measured flatness, with slack for scheduler noise: the final
+	// incremental round may not cost more than 5× the cheapest one, while
+	// the final batch round must clearly outgrow its first.
+	minInc := res.Rounds[0].IncrementalSeconds
+	for _, sr := range res.Rounds {
+		if sr.IncrementalSeconds < minInc {
+			minInc = sr.IncrementalSeconds
+		}
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if minInc > 0 && last.IncrementalSeconds/minInc > 5 {
+		t.Errorf("incremental wall time drifted: round 20 %.4fs vs min %.4fs",
+			last.IncrementalSeconds, minInc)
+	}
+	if last.BatchSeconds < 4*res.Rounds[0].BatchSeconds {
+		t.Errorf("batch wall time did not grow: round 1 %.4fs, round 20 %.4fs",
+			res.Rounds[0].BatchSeconds, last.BatchSeconds)
+	}
+
+	t.Logf("round 20: batch %.0f units (%.4fs) vs incremental %.0f units (%.4fs) — %.1f× / %.1f× cheaper",
+		last.BatchUnits, last.BatchSeconds, last.IncrementalUnits, last.IncrementalSeconds,
+		res.UnitSpeedup(20), res.MeasuredSpeedup(20))
+	t.Logf("campaign: batch %.3fs vs incremental %.3fs over %d rounds",
+		res.BatchTotalSeconds, res.IncrementalTotalSeconds, p.Rounds)
+}
+
+// TestStreamAnalysisDeterministic pins that the scenario itself is
+// reproducible: same params → identical unit accounting (wall times vary).
+func TestStreamAnalysisDeterministic(t *testing.T) {
+	p := DefaultStreamAnalysisParams()
+	p.Rounds = 4
+	a, err := SimulateStreamAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateStreamAnalysis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.BatchUnits != rb.BatchUnits || ra.IncrementalUnits != rb.IncrementalUnits ||
+			ra.TotalFrames != rb.TotalFrames {
+			t.Errorf("round %d units diverged across runs: %+v vs %+v", ra.Round, ra, rb)
+		}
+	}
+}
+
+func TestStreamAnalysisParamValidation(t *testing.T) {
+	p := DefaultStreamAnalysisParams()
+	p.Rounds = 0
+	if _, err := SimulateStreamAnalysis(p); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	p = DefaultStreamAnalysisParams()
+	p.Clusters = 0
+	if _, err := SimulateStreamAnalysis(p); err == nil {
+		t.Error("zero clusters accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package engines
+
+import (
+	"testing"
+
+	"copernicus/internal/landscape"
+	"copernicus/internal/wire"
+)
+
+// TestPreStreamLandscapePayloadDecodes pins the streaming rollout contract
+// at the engine payload layer: a payload encoded before StreamEveryNs
+// existed decodes with StreamEveryNs == 0 — exactly the "batch mode" value,
+// so commands journaled by a pre-streaming server replay with the old
+// behaviour instead of an error.
+func TestPreStreamLandscapePayloadDecodes(t *testing.T) {
+	type landscapePayloadPreStream struct {
+		Params     landscape.Params
+		Start      []float64
+		DurationNs float64
+		FrameNs    float64
+		Seed       uint64
+	}
+	raw, err := wire.Marshal(&landscapePayloadPreStream{
+		Start: []float64{1, 2}, DurationNs: 50, FrameNs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LandscapePayload
+	if err := wire.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("pre-stream payload failed to decode: %v", err)
+	}
+	if got.DurationNs != 50 || got.FrameNs != 2 || got.Seed != 7 || len(got.Start) != 2 {
+		t.Errorf("pre-stream fields corrupted: %+v", got)
+	}
+	if got.StreamEveryNs != 0 {
+		t.Errorf("StreamEveryNs must decode as 0 from pre-stream payloads, got %g", got.StreamEveryNs)
+	}
+}
+
+// TestStreamPayloadDecodesByPreStreamShape covers the reverse direction: a
+// streaming payload decodes under the pre-stream field set (gob drops
+// unknown fields), so an old engine fed by a new controller simply runs the
+// segment without streaming — the final result blob still carries every
+// frame.
+func TestStreamPayloadDecodesByPreStreamShape(t *testing.T) {
+	type landscapePayloadPreStream struct {
+		Params     landscape.Params
+		Start      []float64
+		DurationNs float64
+		FrameNs    float64
+		Seed       uint64
+	}
+	raw, err := wire.Marshal(&LandscapePayload{
+		Start: []float64{0, 0}, DurationNs: 20, FrameNs: 2, Seed: 3, StreamEveryNs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got landscapePayloadPreStream
+	if err := wire.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("stream payload failed to decode under pre-stream shape: %v", err)
+	}
+	if got.DurationNs != 20 || got.FrameNs != 2 || got.Seed != 3 {
+		t.Errorf("shared fields corrupted: %+v", got)
+	}
+}

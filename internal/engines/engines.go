@@ -37,6 +37,20 @@ type Engine interface {
 	Run(ctx context.Context, spec wire.CommandSpec, cores int, progress func(checkpoint []byte)) (output []byte, err error)
 }
 
+// Streamer is an optional Engine extension: engines that can flush
+// trajectory frames to the project server while a command runs implement
+// it. Workers call RunStream instead of Run when the engine supports it;
+// whether anything is actually emitted is decided by the command's payload
+// (the landscape engine streams only when StreamEveryNs > 0), so the
+// controller stays in charge of the flush cadence. Emitted chunks are an
+// optimisation: the final output must still carry the complete trajectory,
+// and emit must be called synchronously from the run goroutine.
+type Streamer interface {
+	Engine
+	RunStream(ctx context.Context, spec wire.CommandSpec, cores int,
+		progress func(checkpoint []byte), emit func(chunk *wire.FrameChunk)) (output []byte, err error)
+}
+
 // --- landscape engine ---
 
 // LandscapeName is the executable name of the folding-surrogate engine.
@@ -49,6 +63,11 @@ type LandscapePayload struct {
 	DurationNs float64
 	FrameNs    float64 // frame recording interval
 	Seed       uint64
+	// StreamEveryNs, when positive, makes the engine flush accumulated
+	// frames to the project server at this simulated-time interval (the
+	// streaming-analysis pipeline). 0 disables streaming; decodes as 0 from
+	// pre-stream frames, so old controllers get the batch behaviour.
+	StreamEveryNs float64
 }
 
 // LandscapeOutput is the engine's result: the recorded trajectory and its
@@ -81,6 +100,17 @@ func (e *LandscapeEngine) Name() string { return LandscapeName }
 
 // Run implements Engine.
 func (e *LandscapeEngine) Run(ctx context.Context, spec wire.CommandSpec, cores int, progress func([]byte)) ([]byte, error) {
+	return e.RunStream(ctx, spec, cores, progress, nil)
+}
+
+// RunStream implements Streamer: identical to Run, but when the payload
+// sets StreamEveryNs (and emit is non-nil) the frames accumulated over each
+// flush interval are emitted as a FrameChunk before the run completes. On a
+// checkpoint resume, emission restarts after the checkpointed frames —
+// anything the previous worker streamed beyond the checkpoint is
+// re-produced deterministically and trimmed by the receiver's watermark.
+func (e *LandscapeEngine) RunStream(ctx context.Context, spec wire.CommandSpec, cores int,
+	progress func([]byte), emit func(*wire.FrameChunk)) ([]byte, error) {
 	var p LandscapePayload
 	if err := wire.Unmarshal(spec.Payload, &p); err != nil {
 		return nil, fmt.Errorf("engines: landscape payload: %w", err)
@@ -110,6 +140,38 @@ func (e *LandscapeEngine) Run(ctx context.Context, spec wire.CommandSpec, cores 
 		acc.Frames = append(acc.Frames, append([]float64(nil), x...))
 	}
 
+	streaming := emit != nil && p.StreamEveryNs > 0
+	seq := 0
+	// emitted is the index of the first not-yet-streamed frame. Frame 0
+	// duplicates the previous segment's end and is never streamed; after a
+	// resume, the checkpointed prefix is the previous run's responsibility.
+	emitted := len(acc.Frames)
+	if emitted < 1 {
+		emitted = 1
+	}
+	nextFlush := acc.DoneNs + p.StreamEveryNs
+	flush := func(final bool) {
+		if !streaming || emitted >= len(acc.Frames) {
+			return
+		}
+		chunk := &wire.FrameChunk{
+			Project:    spec.Project,
+			CommandID:  spec.ID,
+			Seq:        seq,
+			FirstFrame: emitted,
+			Times:      acc.Times[emitted:len(acc.Times):len(acc.Times)],
+			Frames:     acc.Frames[emitted:len(acc.Frames):len(acc.Frames)],
+			Final:      final,
+		}
+		chunk.RMSD = make([]float64, len(chunk.Frames))
+		for i, f := range chunk.Frames {
+			chunk.RMSD[i] = model.RMSD(f)
+		}
+		emit(chunk)
+		seq++
+		emitted = len(acc.Frames)
+	}
+
 	grad := make([]float64, len(x))
 	stepsPerFrame := int(p.FrameNs/p.Params.Dt + 0.5)
 	if stepsPerFrame < 1 {
@@ -129,6 +191,10 @@ func (e *LandscapeEngine) Run(ctx context.Context, spec wire.CommandSpec, cores 
 		acc.Times = append(acc.Times, acc.DoneNs)
 		acc.Frames = append(acc.Frames, append([]float64(nil), x...))
 
+		if streaming && acc.DoneNs+1e-9 >= nextFlush && acc.DoneNs+1e-9 < p.DurationNs {
+			nextFlush += p.StreamEveryNs
+			flush(false)
+		}
 		if e.CheckpointEveryNs > 0 && progress != nil && acc.DoneNs >= nextCkpt && acc.DoneNs+1e-9 < p.DurationNs {
 			nextCkpt += e.CheckpointEveryNs
 			acc.X = append(acc.X[:0], x...)
@@ -140,6 +206,9 @@ func (e *LandscapeEngine) Run(ctx context.Context, spec wire.CommandSpec, cores 
 			}
 		}
 	}
+	// Trailing frames since the last flush ride one Final chunk; the result
+	// blob below still carries the complete trajectory either way.
+	flush(true)
 
 	out := LandscapeOutput{Times: acc.Times, Frames: acc.Frames}
 	out.RMSD = make([]float64, len(out.Frames))

@@ -3,6 +3,7 @@ package msm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"copernicus/internal/rng"
 )
@@ -52,9 +53,17 @@ func StateUncertainty(c *Counts) []float64 {
 			u[i] = 1
 			continue
 		}
+		// Sum in sorted column order: map iteration order is randomized, and
+		// a float sum must be order-independent to the last ULP for WAL
+		// replay to reproduce the original spawn decisions exactly.
+		cols := make([]int, 0, len(c.rows[i]))
+		for j := range c.rows[i] {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
 		var s float64
-		for _, w := range c.rows[i] {
-			p := w / n
+		for _, j := range cols {
+			p := c.rows[i][j] / n
 			s += p * (1 - p) / (n + 1)
 		}
 		u[i] = math.Sqrt(s)

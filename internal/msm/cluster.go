@@ -27,6 +27,46 @@ type Clustering struct {
 	// the point set passed to KCenters — the control plane uses it to map a
 	// cluster back to a restartable conformation.
 	CenterSource []int
+
+	// flat is a lazily packed row-major copy of Centers: the assignment hot
+	// loop walks one contiguous buffer instead of chasing a slice header per
+	// center. Built on first Assign; Centers are immutable once built, so it
+	// never goes stale. Not safe to build from concurrent first Assigns —
+	// callers that share a Clustering across goroutines call Pack() first.
+	flat []float64
+	dim  int
+}
+
+// Pack eagerly builds the contiguous center buffer the assignment loop
+// uses. Assign does this lazily; concurrent users call Pack once up front.
+func (c *Clustering) Pack() {
+	if c.flat != nil || len(c.Centers) == 0 {
+		return
+	}
+	c.dim = len(c.Centers[0])
+	flat := make([]float64, 0, len(c.Centers)*c.dim)
+	for _, ctr := range c.Centers {
+		flat = append(flat, ctr...)
+	}
+	c.flat = flat
+}
+
+// nearestFlat returns the index of the row of flat (k rows × dim) closest
+// to p, with the same first-wins tie-breaking as the slice-walking loop.
+func nearestFlat(flat []float64, dim int, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, base := 0, 0; base < len(flat); i, base = i+1, base+dim {
+		d := 0.0
+		row := flat[base : base+dim : base+dim]
+		for k, pk := range p {
+			dk := pk - row[k]
+			d += dk * dk
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
 }
 
 // KCenters builds k cluster centers from points with the greedy k-centers
@@ -92,6 +132,10 @@ func (c *Clustering) K() int { return len(c.Centers) }
 
 // Assign returns the index of the nearest center to p.
 func (c *Clustering) Assign(p []float64) int {
+	c.Pack()
+	if c.flat != nil && len(p) == c.dim {
+		return nearestFlat(c.flat, c.dim, p)
+	}
 	best, bestD := 0, math.Inf(1)
 	for i, ctr := range c.Centers {
 		if d := sqDist(p, ctr); d < bestD {
@@ -103,11 +147,27 @@ func (c *Clustering) Assign(p []float64) int {
 
 // AssignAll discretises a trajectory of conformations into state indices.
 func (c *Clustering) AssignAll(points [][]float64) []int {
-	out := make([]int, len(points))
-	for i, p := range points {
-		out[i] = c.Assign(p)
+	return c.AssignAllInto(nil, points)
+}
+
+// AssignAllInto is AssignAll with a reusable output buffer: dst is grown
+// only when its capacity is short, so a caller discretising the same
+// trajectories every round allocates nothing in steady state. Returns the
+// filled slice (which aliases dst when it fit).
+func (c *Clustering) AssignAllInto(dst []int, points [][]float64) []int {
+	if cap(dst) < len(points) {
+		dst = make([]int, len(points))
 	}
-	return out
+	dst = dst[:len(points)]
+	c.Pack()
+	for i, p := range points {
+		if c.flat != nil && len(p) == c.dim {
+			dst[i] = nearestFlat(c.flat, c.dim, p)
+		} else {
+			dst[i] = c.Assign(p)
+		}
+	}
+	return dst
 }
 
 // MaxRadius returns the largest distance from any of the given points to its

@@ -1,0 +1,304 @@
+package msm
+
+import (
+	"fmt"
+	"testing"
+
+	"copernicus/internal/rng"
+)
+
+// randomWalkTrajs generates deterministic pseudo-Brownian trajectories in
+// dim dimensions for the streaming tests.
+func randomWalkTrajs(nTraj, nFrames, dim int, seed uint64) [][][]float64 {
+	r := rng.New(seed)
+	trajs := make([][][]float64, nTraj)
+	for t := range trajs {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = 4 * r.Norm()
+		}
+		frames := make([][]float64, nFrames)
+		for f := range frames {
+			for d := range x {
+				x[d] += 0.5 * r.Norm()
+			}
+			frames[f] = append([]float64(nil), x...)
+		}
+		trajs[t] = frames
+	}
+	return trajs
+}
+
+// TestStreamFrozenEquivalence is the property test behind the streaming
+// pipeline's correctness claim: on a frozen center set, incremental
+// assignment and incremental lag-transition counting reproduce the batch
+// AssignAll + CountTransitions pipeline exactly — same assignments, same
+// counts, and therefore identical adaptive decisions (uncertainty weights
+// and spawn fan-out) downstream.
+func TestStreamFrozenEquivalence(t *testing.T) {
+	const lag = 4
+	for _, seed := range []uint64{1, 7, 1234, 99991} {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			trajs := randomWalkTrajs(6, 80, 3, seed)
+			var all [][]float64
+			for _, tr := range trajs {
+				all = append(all, tr...)
+			}
+			clu, err := KCenters(all, 24, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			s, err := FrozenStream(clu.Centers, lag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interleave trajectories frame by frame — stream arrival order
+			// must not matter as long as each trajectory stays in order.
+			streamed := make([][]int, len(trajs))
+			for f := 0; f < len(trajs[0]); f++ {
+				for ti, tr := range trajs {
+					a, err := s.Observe(fmt.Sprintf("traj-%d", ti), tr[f])
+					if err != nil {
+						t.Fatal(err)
+					}
+					streamed[ti] = append(streamed[ti], a)
+				}
+			}
+
+			// Batch pipeline on the same frames.
+			var dtrajs [][]int
+			for _, tr := range trajs {
+				dtrajs = append(dtrajs, clu.AssignAll(tr))
+			}
+			for ti := range trajs {
+				for f := range dtrajs[ti] {
+					if streamed[ti][f] != dtrajs[ti][f] {
+						t.Fatalf("traj %d frame %d: stream assigned %d, batch %d",
+							ti, f, streamed[ti][f], dtrajs[ti][f])
+					}
+				}
+			}
+			batch, err := CountTransitions(dtrajs, clu.K(), lag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := s.Counts()
+			if sc.N() != batch.N() {
+				t.Fatalf("count dims: stream %d, batch %d", sc.N(), batch.N())
+			}
+			for i := 0; i < batch.N(); i++ {
+				for j := 0; j < batch.N(); j++ {
+					if sc.Get(i, j) != batch.Get(i, j) {
+						t.Fatalf("count (%d,%d): stream %g, batch %g",
+							i, j, sc.Get(i, j), batch.Get(i, j))
+					}
+				}
+			}
+
+			// Identical adaptive decisions: uncertainty weights and spawn
+			// fan-out derived from either count matrix must agree.
+			lcs := batch.TransitionMatrix(0).LargestConnectedSet()
+			us, ub := StateUncertainty(sc), StateUncertainty(batch)
+			for i := range ub {
+				if us[i] != ub[i] {
+					t.Fatalf("uncertainty[%d]: stream %g, batch %g", i, us[i], ub[i])
+				}
+			}
+			ss, err := SpawnCounts(AdaptiveWeighting, lcs, us, 50, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := SpawnCounts(AdaptiveWeighting, lcs, ub, 50, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ss) != len(sb) {
+				t.Fatalf("spawn maps differ in size: %d vs %d", len(ss), len(sb))
+			}
+			for st, n := range sb {
+				if ss[st] != n {
+					t.Fatalf("spawn[%d]: stream %d, batch %d", st, ss[st], n)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamGrowthBounded proves the center budget holds no matter how many
+// frames arrive, and that memory stays bounded after trajectories retire.
+func TestStreamGrowthBounded(t *testing.T) {
+	s, err := NewStreamClusterer(StreamConfig{K: 8, Lag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := randomWalkTrajs(4, 200, 3, 42)
+	for ti, tr := range trajs {
+		id := fmt.Sprintf("t%d", ti)
+		for _, f := range tr {
+			if _, err := s.Observe(id, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.K() > 8 {
+		t.Fatalf("center budget exceeded: %d > 8", s.K())
+	}
+	if s.Frames() != 4*200 {
+		t.Fatalf("frames observed %d, want %d", s.Frames(), 4*200)
+	}
+	for ti := range trajs {
+		s.DropTrajectory(fmt.Sprintf("t%d", ti))
+	}
+	if n := len(s.trajs); n != 0 {
+		t.Fatalf("%d trajectory rings leaked after drop", n)
+	}
+}
+
+// TestStreamMinDist verifies the novelty threshold: with a large MinDist,
+// near-duplicate frames must not found new centers.
+func TestStreamMinDist(t *testing.T) {
+	s, err := NewStreamClusterer(StreamConfig{K: 16, Lag: 1, MinDist: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Observe("a", []float64{float64(i%3) * 0.01, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.K() != 1 {
+		t.Fatalf("MinDist 10 should hold one center over jittered input, got %d", s.K())
+	}
+	if _, err := s.Observe("a", []float64{100, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 2 {
+		t.Fatalf("distant frame should found a second center, got %d", s.K())
+	}
+}
+
+// TestStreamStateRoundTrip proves a save/restore mid-stream continues
+// identically to an uninterrupted run — the property the controller's
+// durable snapshot relies on.
+func TestStreamStateRoundTrip(t *testing.T) {
+	mk := func() *StreamClusterer {
+		s, err := NewStreamClusterer(StreamConfig{K: 12, Lag: 3, MinDist: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	trajs := randomWalkTrajs(3, 120, 3, 77)
+	full := mk()
+	split := mk()
+	feed := func(s *StreamClusterer, from, to int) []int {
+		var out []int
+		for f := from; f < to; f++ {
+			for ti, tr := range trajs {
+				a, err := s.Observe(fmt.Sprintf("t%d", ti), tr[f])
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	a1 := feed(full, 0, 120)
+	feed(split, 0, 60)
+	restored, err := RestoreStream(split.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := feed(restored, 60, 120)
+	if len(tail) != 3*60 {
+		t.Fatalf("tail length %d", len(tail))
+	}
+	// The uninterrupted run's tail must match the restored run's tail.
+	offset := len(a1) - len(tail)
+	for i, a := range tail {
+		if a1[offset+i] != a {
+			t.Fatalf("assignment %d diverged after restore: %d vs %d", i, a1[offset+i], a)
+		}
+	}
+	// And the final counts must be identical.
+	for i := 0; i < full.Counts().N(); i++ {
+		for j := 0; j < full.Counts().N(); j++ {
+			if full.Counts().Get(i, j) != restored.Counts().Get(i, j) {
+				t.Fatalf("count (%d,%d) diverged after restore", i, j)
+			}
+		}
+	}
+}
+
+// TestAssignAllIntoMatchesAssignAll pins the buffer-reusing fast path to
+// the reference implementation, and proves the steady-state path allocates
+// nothing.
+func TestAssignAllIntoMatchesAssignAll(t *testing.T) {
+	trajs := randomWalkTrajs(1, 400, 3, 5)
+	clu, err := KCenters(trajs[0], 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clu.AssignAll(trajs[0])
+	buf := make([]int, 0, len(trajs[0]))
+	got := clu.AssignAllInto(buf, trajs[0])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	clu.Pack()
+	allocs := testing.AllocsPerRun(10, func() {
+		got = clu.AssignAllInto(got, trajs[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AssignAllInto with a fitting buffer allocated %.0f times per run", allocs)
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	trajs := randomWalkTrajs(1, 2000, 3, 9)
+	clu, err := KCenters(trajs[0], 200, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clu.Pack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clu.Assign(trajs[0][i%len(trajs[0])])
+	}
+}
+
+func BenchmarkAssignAll(b *testing.B) {
+	trajs := randomWalkTrajs(1, 2000, 3, 9)
+	clu, err := KCenters(trajs[0], 200, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clu.Pack()
+	buf := make([]int, len(trajs[0]))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = clu.AssignAllInto(buf, trajs[0])
+	}
+}
+
+func BenchmarkStreamObserve(b *testing.B) {
+	s, err := NewStreamClusterer(StreamConfig{K: 200, Lag: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trajs := randomWalkTrajs(1, 2000, 3, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Observe("t0", trajs[0][i%len(trajs[0])]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

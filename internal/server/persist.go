@@ -149,6 +149,7 @@ func (s *Server) restoreProject(ps store.ProjectSnap) error {
 			worker:      cs.Worker,
 			retries:     cs.Retries,
 			checkpoint:  cs.Checkpoint,
+			streamed:    cs.Streamed,
 			submittedAt: now,
 		}
 	}
@@ -222,6 +223,22 @@ func (s *Server) replayRecord(r store.Record) {
 		s.withProjectCommand(r.Project, r.Command, func(p *project, cs *cmdState) {
 			cs.checkpoint = r.Data
 		})
+
+	case store.RecFrameChunk:
+		var chunk wire.FrameChunk
+		if err := wire.Unmarshal(r.Data, &chunk); err != nil {
+			return
+		}
+		s.mu.Lock()
+		p := s.projects[r.Project]
+		s.mu.Unlock()
+		if p != nil {
+			// Same ingest path as live delivery: the watermark advances and
+			// the controller's frame sink sees the identical stream, so a
+			// recovered or promoted server resumes the analysis exactly
+			// where the WAL left it.
+			_, _ = s.ingestChunk(p, &chunk, r.Data)
+		}
 
 	case store.RecResult:
 		var res wire.CommandResult
@@ -505,6 +522,7 @@ func (s *Server) captureSnapshot() (*store.Snapshot, error) {
 				Worker:     cs.worker,
 				Retries:    cs.retries,
 				Checkpoint: cs.checkpoint,
+				Streamed:   cs.streamed,
 			})
 		}
 		p.mu.Unlock()

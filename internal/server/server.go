@@ -128,6 +128,7 @@ type cmdState struct {
 	retries      int
 	preempts     int    // fair-share preemptions; tracked apart from retries
 	checkpoint   []byte // latest partial checkpoint for failover
+	streamed     int    // frames already ingested via streamed chunks
 	submittedAt  time.Time
 	dispatchedAt time.Time
 }
@@ -210,6 +211,9 @@ type serverMetrics struct {
 	dispatchLatency *obs.Histogram
 	controllerTime  *obs.Histogram
 	resultBytes     *obs.Histogram
+	streamChunks    *obs.Counter
+	streamFrames    *obs.Counter
+	streamDupes     *obs.Counter
 }
 
 // dispatchBuckets cover queue waits from sub-millisecond (in-process
@@ -250,6 +254,12 @@ func newServerMetrics(o *obs.Obs, nodeID string) serverMetrics {
 			"Time controllers spend reacting to a finished command.", nil, node),
 		resultBytes: m.Histogram("copernicus_result_bytes",
 			"Uploaded result payload sizes.", obs.SizeBuckets(), node),
+		streamChunks: m.Counter("copernicus_stream_chunks_total",
+			"Streamed frame chunks accepted and journaled.", node),
+		streamFrames: m.Counter("copernicus_stream_frames_total",
+			"New frames ingested from streamed chunks (after watermark dedupe).", node),
+		streamDupes: m.Counter("copernicus_stream_duplicate_chunks_total",
+			"Streamed chunks ignored because every frame was below the watermark.", node),
 	}
 }
 
@@ -307,6 +317,7 @@ func New(node *overlay.Node, reg *controller.Registry, cfg Config) *Server {
 	node.Handle(wire.MsgSubmit, s.handleSubmit)
 	node.Handle(wire.MsgAnnounce, s.handleAnnounce)
 	node.Handle(wire.MsgResult, s.handleResult)
+	node.Handle(wire.MsgFrameChunk, s.handleFrameChunk)
 	node.Handle(wire.MsgHeartbeat, s.handleHeartbeat)
 	node.Handle(wire.MsgStatus, s.handleStatus)
 	node.Handle(wire.MsgWorkerFailed, s.handleWorkerFailed)
@@ -792,7 +803,24 @@ func (s *Server) markAssigned(info wire.WorkerInfo, wl wire.Workload, from strin
 		}
 		s.mu.Unlock()
 		s.recoverOrphans(info.ID, orphans)
+		return
 	}
+	// Relayed match. When the worker is one of our own (it has announced
+	// directly before, so a liveness record exists), record the assignment
+	// NOW rather than waiting for the relay reply to make it home: the
+	// reply can still be lost — most plainly when the anycast raced its
+	// deadline and the caller discards the late answer — and these
+	// commands would otherwise be tracked by nobody. The worker's next
+	// idle announce then recovers them through the normal orphan path.
+	// For another server's worker the record does not exist here and the
+	// origin server notes the assignment on the reply instead.
+	s.mu.Lock()
+	if ws := s.workers[info.ID]; ws != nil {
+		for _, cmd := range wl.Commands {
+			ws.commands[cmd.ID] = cmd.Origin
+		}
+	}
+	s.mu.Unlock()
 }
 
 // recordRelayedWorkload notes which origin server each relayed command
@@ -998,6 +1026,80 @@ func (s *Server) ingestResult(p *project, res *wire.CommandResult) (reply []byte
 	}
 	s.cfg.Obs.Trace.Record(span)
 	return []byte("ok"), cs.worker, nil
+}
+
+// handleFrameChunk ingests a streamed frame chunk at the project server.
+// Chunks are an optimization overlay on the result path: anything
+// surprising — unknown command, settled command, duplicate or gapped frame
+// range — is acknowledged and dropped, because the command's final result
+// blob carries every frame and heals whatever the stream missed.
+func (s *Server) handleFrameChunk(from string, payload []byte) ([]byte, error) {
+	var chunk wire.FrameChunk
+	if err := wire.Unmarshal(payload, &chunk); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	p := s.projects[chunk.Project]
+	s.mu.Unlock()
+	if p == nil {
+		return nil, overlay.ErrNotHandled // maybe another server's project
+	}
+	return s.ingestChunk(p, &chunk, payload)
+}
+
+// ingestChunk applies one streamed chunk under the project lock, advancing
+// the command's frame watermark and feeding the controller's FrameSink.
+// Called live from handleFrameChunk and during WAL replay.
+func (s *Server) ingestChunk(p *project, chunk *wire.FrameChunk, payload []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := p.commands[chunk.CommandID]
+	if cs == nil || cs.status == cmdDone || cs.status == cmdTerminated ||
+		cs.status == cmdFailed || p.state != "running" {
+		return []byte("ignored"), nil
+	}
+	// Frame 0 is the segment's start conformation, which the controller
+	// already holds; the stream begins at frame 1.
+	start := cs.streamed
+	if start < 1 {
+		start = 1
+	}
+	end := chunk.FirstFrame + len(chunk.Frames)
+	if end <= start {
+		// Re-delivery of frames already ingested (e.g. a checkpoint-resumed
+		// run deterministically re-producing its prefix on a new worker).
+		if !s.replaying.Load() {
+			s.met.streamDupes.Inc()
+		}
+		return []byte("ignored"), nil
+	}
+	if chunk.FirstFrame > start {
+		// A gap: an earlier chunk never arrived. Ingesting out-of-order
+		// frames would corrupt transition counting, so drop the chunk and
+		// let the final result blob deliver the range intact.
+		if !s.replaying.Load() {
+			s.met.streamDupes.Inc()
+		}
+		return []byte("gap"), nil
+	}
+	// Journal before the controller reacts so recovery and standby replay
+	// reconstruct the exact same stream position.
+	s.journal(store.Record{Type: store.RecFrameChunk,
+		Project: chunk.Project, Command: chunk.CommandID, Worker: chunk.WorkerID,
+		Data: payload})
+	cs.streamed = end
+	if !s.replaying.Load() {
+		s.met.streamChunks.Inc()
+		s.met.streamFrames.Add(uint64(end - start))
+	}
+	if sink, ok := p.ctrl.(controller.FrameSink); ok {
+		if err := sink.FrameChunk(s.contextFor(p), chunk); err != nil {
+			// Non-fatal by contract: the batch path still covers the command.
+			s.log.Warn("frame sink rejected chunk",
+				"project", p.name, "cmd", chunk.CommandID, "err", err)
+		}
+	}
+	return []byte("ok"), nil
 }
 
 // --- heartbeats and failure recovery ---

@@ -30,6 +30,8 @@ type testController struct {
 	failed         []string
 	finishOn       int // Finish the project after this many completions (0 = never)
 	resubmitFailed bool
+	chunks         int // frame chunks the server fed to the FrameSink
+	chunkFrames    int // frames carried by those chunks
 }
 
 func (c *testController) Name() string { return "test" }
@@ -198,6 +200,62 @@ func TestAnnounceAssignsWork(t *testing.T) {
 	st, _ := r.srv.Project("proj")
 	if st.Running != 2 || st.Queued != 1 {
 		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestRelayedAssignmentLostReplyRecovered: a relay-matched workload whose
+// reply never reaches the worker (most plainly when the anycast races its
+// deadline and the late answer is discarded) must not strand its commands.
+// The assignment is recorded in the worker's liveness record at match time,
+// so the worker's next idle announce surfaces them through the orphan path
+// and a later announce re-dispatches them.
+func TestRelayedAssignmentLostReplyRecovered(t *testing.T) {
+	o := obs.New()
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{Obs: o, HeartbeatInterval: time.Hour}, ctrl)
+
+	// Make w1 a worker this server tracks, before any work exists.
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 4), &wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Commands) != 0 {
+		t.Fatalf("idle announce got commands: %+v", wl.Commands)
+	}
+
+	r.submit(t, "proj")
+
+	// A relayed announce on w1's behalf matches c1 — and the reply is
+	// dropped here, as if the relaying request had already timed out.
+	rel := announce("w1", 4)
+	rel.Relayed = true
+	if err := r.request(t, wire.MsgAnnounce, rel, &wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Commands) != 1 || wl.Commands[0].ID != "c1" {
+		t.Fatalf("relayed announce workload = %+v, want c1", wl.Commands)
+	}
+	if st, _ := r.srv.Project("proj"); st.Running != 1 {
+		t.Fatalf("status after relayed match = %+v, want running=1", st)
+	}
+
+	// The worker never learned about c1: its idle announces must get the
+	// command requeued (asynchronously) and eventually re-dispatched.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := r.request(t, wire.MsgAnnounce, announce("w1", 4), &wl); err != nil {
+			t.Fatal(err)
+		}
+		if len(wl.Commands) == 1 && wl.Commands[0].ID == "c1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stranded command was never re-dispatched")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := metricValue(t, o, "copernicus_commands_orphaned_total"); got != 1 {
+		t.Errorf("copernicus_commands_orphaned_total = %g, want 1", got)
 	}
 }
 

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"copernicus/internal/controller"
+	"copernicus/internal/obs"
+	"copernicus/internal/wire"
+)
+
+// FrameChunk makes testController a controller.FrameSink so server-level
+// stream tests can observe exactly what a real controller would ingest.
+func (c *testController) FrameChunk(ctx controller.Context, chunk *wire.FrameChunk) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chunks++
+	c.chunkFrames += len(chunk.Frames)
+	return nil
+}
+
+func (c *testController) chunkCounts() (chunks, frames int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chunks, c.chunkFrames
+}
+
+// sendChunk delivers one frame chunk over the wire and returns the raw ack
+// ("ok", "ignored", or "gap") — chunk acks are plain bytes, not gob.
+func sendChunk(t *testing.T, r *rig, chunk *wire.FrameChunk) string {
+	t.Helper()
+	payload, err := wire.Marshal(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := r.client.RequestTimeout(r.srv.Node().ID(), wire.MsgFrameChunk, payload, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(reply)
+}
+
+// mkChunk builds a chunk of n synthetic frames starting at index first.
+func mkChunk(cmd string, seq, first, n int) *wire.FrameChunk {
+	ch := &wire.FrameChunk{
+		Project: "proj", CommandID: cmd, WorkerID: "w1", Seq: seq, FirstFrame: first,
+	}
+	for i := 0; i < n; i++ {
+		ch.Times = append(ch.Times, float64(first+i))
+		ch.Frames = append(ch.Frames, []float64{float64(first + i), 0})
+		ch.RMSD = append(ch.RMSD, 1)
+	}
+	return ch
+}
+
+// TestStreamChunkWatermark pins the live ingest contract: in-order chunks
+// advance the watermark and reach the sink, duplicates and gaps are
+// acknowledged but dropped, overlaps advance by only the new frames, and a
+// settled command accepts nothing.
+func TestStreamChunkWatermark(t *testing.T) {
+	o := obs.New()
+	ctrl := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r := newRig(t, Config{HeartbeatInterval: time.Hour, Obs: o}, ctrl)
+	r.submit(t, "proj")
+	var wl wire.Workload
+	if err := r.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+
+	if ack := sendChunk(t, r, mkChunk("c1", 0, 1, 2)); ack != "ok" {
+		t.Fatalf("first chunk ack = %q", ack)
+	}
+	if ack := sendChunk(t, r, mkChunk("c1", 0, 1, 2)); ack != "ignored" {
+		t.Fatalf("duplicate chunk ack = %q", ack)
+	}
+	if ack := sendChunk(t, r, mkChunk("c1", 2, 5, 2)); ack != "gap" {
+		t.Fatalf("gapped chunk ack = %q", ack)
+	}
+	if ack := sendChunk(t, r, mkChunk("c1", 1, 3, 2)); ack != "ok" {
+		t.Fatalf("second chunk ack = %q", ack)
+	}
+	// Overlap: frames 4..6 against watermark 5 → accepted, two new frames.
+	if ack := sendChunk(t, r, mkChunk("c1", 2, 4, 3)); ack != "ok" {
+		t.Fatalf("overlapping chunk ack = %q", ack)
+	}
+	if ack := sendChunk(t, r, mkChunk("ghost", 0, 1, 2)); ack != "ignored" {
+		t.Fatalf("unknown-command chunk ack = %q", ack)
+	}
+	if chunks, frames := ctrl.chunkCounts(); chunks != 3 || frames != 7 {
+		t.Fatalf("sink saw %d chunks / %d frames, want 3 / 7", chunks, frames)
+	}
+	if got := metricValue(t, o, "copernicus_stream_chunks_total"); got != 3 {
+		t.Errorf("copernicus_stream_chunks_total = %g, want 3", got)
+	}
+	if got := metricValue(t, o, "copernicus_stream_frames_total"); got != 6 {
+		t.Errorf("copernicus_stream_frames_total = %g, want 6 (watermark-deduped)", got)
+	}
+	if got := metricValue(t, o, "copernicus_stream_duplicate_chunks_total"); got != 2 {
+		t.Errorf("copernicus_stream_duplicate_chunks_total = %g, want 2", got)
+	}
+
+	// Settle the command; late chunks must be dropped.
+	sendResult(t, r, "c1", "w1")
+	if ack := sendChunk(t, r, mkChunk("c1", 3, 7, 2)); ack != "ignored" {
+		t.Fatalf("post-settle chunk ack = %q", ack)
+	}
+	if chunks, _ := ctrl.chunkCounts(); chunks != 3 {
+		t.Fatalf("settled command still fed the sink: %d chunks", chunks)
+	}
+}
+
+// TestStreamResumeAcrossCrash is the tentpole durability property at the
+// server level: frame-chunk watermarks are journaled through the WAL, so a
+// crash-restarted server replays the identical stream into a fresh
+// controller, absorbs worker re-deliveries without double-counting, and
+// accepts the continuation exactly where the stream left off.
+func TestStreamResumeAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	ctrl1 := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, ctrl1)
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range []*wire.FrameChunk{mkChunk("c1", 0, 1, 2), mkChunk("c1", 1, 3, 2)} {
+		if ack := sendChunk(t, r1, ch); ack != "ok" {
+			t.Fatalf("chunk %d ack = %q", i, ack)
+		}
+	}
+	if chunks, frames := ctrl1.chunkCounts(); chunks != 2 || frames != 4 {
+		t.Fatalf("pre-crash sink: %d chunks / %d frames", chunks, frames)
+	}
+
+	// Hard stop: no snapshot, no drain.
+	r1.srv.Close()
+	st.Close()
+
+	st2 := openTestStore(t, dir)
+	ctrl2 := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+
+	// WAL replay must reconstruct the identical stream into the fresh
+	// controller: same chunks, same frames, no loss.
+	if chunks, frames := ctrl2.chunkCounts(); chunks != 2 || frames != 4 {
+		t.Fatalf("replayed sink: %d chunks / %d frames, want 2 / 4", chunks, frames)
+	}
+	// A worker that spooled its chunks through the outage re-delivers them;
+	// the restored watermark must absorb every one.
+	for _, ch := range []*wire.FrameChunk{mkChunk("c1", 0, 1, 2), mkChunk("c1", 1, 3, 2)} {
+		if ack := sendChunk(t, r2, ch); ack != "ignored" {
+			t.Fatalf("re-delivered chunk ack = %q", ack)
+		}
+	}
+	if chunks, frames := ctrl2.chunkCounts(); chunks != 2 || frames != 4 {
+		t.Fatalf("re-delivery double-counted: %d chunks / %d frames", chunks, frames)
+	}
+	// The orphaned command is requeued (bounded re-execution), but its
+	// watermark survives: the continuation streams straight through.
+	var wl2 wire.Workload
+	if err := r2.request(t, wire.MsgAnnounce, announce("w2", 1), &wl2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl2.Commands) != 1 {
+		t.Fatalf("orphan not requeued: %v", wl2.Commands)
+	}
+	if ack := sendChunk(t, r2, mkChunk("c1", 2, 5, 2)); ack != "ok" {
+		t.Fatalf("continuation chunk ack = %q", ack)
+	}
+	if chunks, frames := ctrl2.chunkCounts(); chunks != 3 || frames != 6 {
+		t.Fatalf("post-restart sink: %d chunks / %d frames, want 3 / 6", chunks, frames)
+	}
+}
+
+// TestStreamWatermarkInSnapshot: compaction can leave a snapshot with no WAL
+// segments behind it; the snapshot's per-command Streamed field alone must
+// preserve the dedupe watermark.
+func TestStreamWatermarkInSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	ctrl1 := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r1 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st}, ctrl1)
+	r1.submit(t, "proj")
+	var wl wire.Workload
+	if err := r1.request(t, wire.MsgAnnounce, announce("w1", 1), &wl); err != nil {
+		t.Fatal(err)
+	}
+	if ack := sendChunk(t, r1, mkChunk("c1", 0, 1, 4)); ack != "ok" {
+		t.Fatal(ack)
+	}
+	if err := r1.srv.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	r1.srv.Close()
+	st.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2 := openTestStore(t, dir)
+	ctrl2 := &testController{submit: []wire.CommandSpec{cmdSpec("c1")}}
+	r2 := newRig(t, Config{HeartbeatInterval: time.Hour, Store: st2}, ctrl2)
+	// No WAL to replay, so the sink starts cold — but the watermark must
+	// still reject everything already ingested before the snapshot.
+	if ack := sendChunk(t, r2, mkChunk("c1", 0, 1, 4)); ack != "ignored" {
+		t.Fatalf("pre-snapshot chunk ack = %q", ack)
+	}
+	if chunks, _ := ctrl2.chunkCounts(); chunks != 0 {
+		t.Fatalf("duplicate reached the sink after snapshot restore: %d chunks", chunks)
+	}
+	if ack := sendChunk(t, r2, mkChunk("c1", 1, 5, 2)); ack != "ok" {
+		t.Fatalf("continuation chunk ack = %q", ack)
+	}
+	if chunks, frames := ctrl2.chunkCounts(); chunks != 1 || frames != 2 {
+		t.Fatalf("post-snapshot sink: %d chunks / %d frames, want 1 / 2", chunks, frames)
+	}
+}

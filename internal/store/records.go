@@ -44,6 +44,10 @@ const (
 	// tenant; Count carries the preemption tally. Distinct from
 	// RecCommandRequeued so preemptions never consume failure retries.
 	RecCommandPreempted
+	// RecFrameChunk advances a command's streamed-frame watermark; Data
+	// holds the wire.FrameChunk. Journaled so recovery and standby promotion
+	// resume the analysis stream without double-counting frames.
+	RecFrameChunk
 )
 
 // String returns the record type's stable wire name (used by state inspect).
@@ -73,6 +77,8 @@ func (t RecordType) String() string {
 		return "tenant_quota"
 	case RecCommandPreempted:
 		return "command_preempted"
+	case RecFrameChunk:
+		return "frame_chunk"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -118,6 +124,10 @@ type CommandSnap struct {
 	Worker     string
 	Retries    int
 	Checkpoint []byte
+	// Streamed is the command's streamed-frame watermark: how many of its
+	// output frames the controller has already ingested via frame chunks.
+	// Decodes as 0 from pre-streaming snapshots.
+	Streamed int
 }
 
 // ProjectSnap is one project's durable state inside a snapshot, including

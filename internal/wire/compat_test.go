@@ -285,6 +285,40 @@ type wrapErr struct{ inner error }
 func (w *wrapErr) Error() string { return "tenant acme: " + w.inner.Error() }
 func (w *wrapErr) Unwrap() error { return w.inner }
 
+// TestFrameChunkRoundTrip pins the streamed-chunk payload: chunks are
+// journaled raw into the WAL and replayed byte-for-byte, so the encoding
+// must round-trip every field exactly.
+func TestFrameChunkRoundTrip(t *testing.T) {
+	chunk := FrameChunk{
+		Project: "villin", CommandID: "cmd-9", WorkerID: "w3",
+		Seq: 2, FirstFrame: 11,
+		Times:  []float64{16.5, 18},
+		Frames: [][]float64{{1, 2, 3}, {4, 5, 6}},
+		RMSD:   []float64{0.9, 0.8},
+		Final:  true,
+	}
+	raw, err := Marshal(&chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FrameChunk
+	if err := Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Project != chunk.Project || got.CommandID != chunk.CommandID ||
+		got.WorkerID != chunk.WorkerID || got.Seq != 2 || got.FirstFrame != 11 ||
+		!got.Final || len(got.Times) != 2 || len(got.Frames) != 2 || len(got.RMSD) != 2 {
+		t.Errorf("FrameChunk roundtrip = %+v", got)
+	}
+	for i := range got.Frames {
+		for d := range got.Frames[i] {
+			if got.Frames[i][d] != chunk.Frames[i][d] {
+				t.Fatalf("frame %d corrupted: %v", i, got.Frames[i])
+			}
+		}
+	}
+}
+
 func TestTenantPayloadRoundTrip(t *testing.T) {
 	status := TenantStatus{
 		ID: "acme", Weight: 4, MaxQueued: 100, MaxCores: 64, MaxStorageBytes: 1 << 30,

@@ -31,6 +31,12 @@ import (
 // and workers independently verify gang completeness of a workload, so a
 // mixed-fleet worker rejects a gang command it cannot co-schedule instead
 // of silently running it solo.
+//
+// The frame-streaming additions (MsgFrameChunk, FrameChunk, the engine
+// payload's StreamEveryNs) also ride within version 2: streaming is purely
+// additive — a node that has never heard of MsgFrameChunk declines it via
+// the overlay's unknown-handler path and the final result blob still
+// carries every frame, so mixed fleets degrade to the batch pipeline.
 const ProtocolVersion = 2
 
 // ErrProtoVersion is the sentinel for cross-version handshake and envelope
@@ -155,6 +161,12 @@ const (
 	// (TenantQuotaUpdate → TenantStatus). The change is journaled on durable
 	// servers, so it survives restarts and ships to standbys.
 	MsgTenantQuotaSet MsgType = "tenantquotaset"
+	// MsgFrameChunk streams a slice of trajectory frames from a worker to
+	// the command's project server while the command is still running
+	// (FrameChunk). Chunks ride within protocol version 2: pre-stream nodes
+	// never see the type, and FrameChunk's fields decode as zero values from
+	// any frame that predates them.
+	MsgFrameChunk MsgType = "framechunk"
 )
 
 // Envelope is the routed unit: a typed request or response addressed to a
@@ -255,6 +267,36 @@ type CommandResult struct {
 	Checkpoint  []byte // latest checkpoint, for hand-off on failure
 	CoresUsed   int
 	WallSeconds float64
+}
+
+// FrameChunk is a mid-command slice of trajectory frames streamed to the
+// project server so analysis can start before the command's final result
+// blob arrives. Chunks are an optimisation overlay, not the source of
+// truth: the final CommandResult still carries every frame, so a dropped
+// chunk costs nothing and a re-delivered one is absorbed idempotently.
+//
+// FirstFrame indexes into the command's full output frame sequence (frame 0
+// is the segment's starting conformation, which duplicates the previous
+// segment's end); the server keeps a per-command ingest watermark of frames
+// applied so far, drops chunks entirely below it, and consumers trim
+// partial overlap. After a checkpoint resume on a new worker Seq restarts
+// at 0 but FirstFrame continues from the checkpoint position, so watermark
+// arithmetic survives hand-offs.
+type FrameChunk struct {
+	Project   string
+	CommandID string
+	WorkerID  string
+	// Seq is the flush counter within one engine run, starting at 0 —
+	// diagnostics and ordering, not the dedupe key.
+	Seq int
+	// FirstFrame is the index of Frames[0] within the command's full
+	// output frame sequence.
+	FirstFrame int
+	Times      []float64   // engine-local times (ns into the command)
+	Frames     [][]float64 // conformations
+	RMSD       []float64   // RMSD-to-native per frame
+	// Final marks the last chunk of the run (the result blob follows).
+	Final bool
 }
 
 // WorkerInfo announces a worker's resources and capabilities, mirroring the

@@ -58,6 +58,13 @@ type Config struct {
 	// under SpoolDir and passed by reference.
 	FSToken  string
 	SpoolDir string
+	// CheckpointDir, when set, persists every engine progress checkpoint to
+	// local disk (atomically, one file per command) so a restarted worker
+	// process resumes a re-dispatched command from its own last checkpoint
+	// even when the server never saw one — the server's checkpoint remains
+	// authoritative whenever the dispatch carries it. Files are removed when
+	// the command settles.
+	CheckpointDir string
 	// Obs carries the worker's metrics registry, span tracer and logger.
 	// nil means a fresh silent bundle; pass a shared one to see worker run
 	// spans alongside the server's lifecycle spans.
@@ -124,6 +131,10 @@ type workerMetrics struct {
 	rehomes         *obs.Counter
 	gangRejects     *obs.Counter
 	checkpointBytes *obs.Histogram
+	streamChunks    *obs.Counter
+	streamFrames    *obs.Counter
+	streamErrors    *obs.Counter
+	ckptResumes     *obs.Counter
 }
 
 func newWorkerMetrics(o *obs.Obs, workerID string) workerMetrics {
@@ -150,6 +161,14 @@ func newWorkerMetrics(o *obs.Obs, workerID string) workerMetrics {
 		checkpointBytes: o.Metrics.Histogram("copernicus_worker_checkpoint_bytes",
 			"Size of partial-result checkpoints reported for failover.",
 			obs.SizeBuckets(), l),
+		streamChunks: o.Metrics.Counter("copernicus_worker_stream_chunks_total",
+			"Frame chunks delivered to a project server.", l),
+		streamFrames: o.Metrics.Counter("copernicus_worker_stream_frames_total",
+			"Frames delivered inside streamed chunks.", l),
+		streamErrors: o.Metrics.Counter("copernicus_worker_stream_chunk_errors_total",
+			"Frame chunks dropped because no server accepted them.", l),
+		ckptResumes: o.Metrics.Counter("copernicus_worker_checkpoint_resumes_total",
+			"Commands resumed from a locally persisted engine checkpoint.", l),
 	}
 }
 
@@ -535,7 +554,20 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 		w.mu.Unlock()
 	}()
 
+	// The server's checkpoint is authoritative; the local copy only covers
+	// the dispatch arriving without one — a worker restart before the server
+	// noticed any progress, or a requeue that lost the checkpoint.
+	if len(cmd.Checkpoint) == 0 {
+		if ck := w.loadLocalCheckpoint(cmd.ID); len(ck) > 0 {
+			w.met.ckptResumes.Inc()
+			w.log.Info("resuming from local checkpoint",
+				"command", cmd.ID, "bytes", len(ck))
+			cmd.Checkpoint = ck
+		}
+	}
+
 	progress := func(checkpoint []byte) {
+		w.saveLocalCheckpoint(cmd.ID, checkpoint)
 		partial := wire.CommandResult{
 			CommandID:  cmd.ID,
 			Project:    cmd.Project,
@@ -549,7 +581,17 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 	}
 
 	start := time.Now()
-	output, err := eng.Run(runCtx, cmd, cores, progress)
+	var output []byte
+	var err error
+	if streamer, ok := eng.(engines.Streamer); ok {
+		emit := func(chunk *wire.FrameChunk) {
+			chunk.WorkerID = w.ID()
+			w.sendChunk(ctx, cmd.Origin, chunk)
+		}
+		output, err = streamer.RunStream(runCtx, cmd, cores, progress, emit)
+	} else {
+		output, err = eng.Run(runCtx, cmd, cores, progress)
+	}
 	res.WallSeconds = time.Since(start).Seconds()
 	w.cfg.Obs.Metrics.Histogram("copernicus_worker_command_seconds",
 		"Wall time of engine runs, by engine type.",
@@ -570,16 +612,23 @@ func (w *Worker) runCommand(ctx context.Context, cmd wire.CommandSpec, cores int
 	w.cfg.Obs.Trace.Record(span)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			// Terminated by the controller: nothing to report.
+			// Terminated by the controller: nothing to report. Keep the
+			// local checkpoint only when the whole worker is shutting down —
+			// a deliberate per-command abort means the command is dead.
+			if ctx.Err() == nil {
+				w.dropLocalCheckpoint(cmd.ID)
+			}
 			return
 		}
 		w.met.commandsFailed.Inc()
 		w.log.Warn("command failed", "command", cmd.ID, "engine", cmd.Type, "err", err)
 		res.Error = err.Error()
+		w.dropLocalCheckpoint(cmd.ID)
 		w.sendResult(ctx, cmd.Origin, &res)
 		return
 	}
 	w.met.commandsOK.Inc()
+	w.dropLocalCheckpoint(cmd.ID)
 	res.OK = true
 	if sharedFS && w.cfg.SpoolDir != "" {
 		if path, werr := w.spoolOutput(cmd.ID, output); werr == nil {
@@ -648,6 +697,82 @@ func (w *Worker) sendResult(ctx context.Context, origin string, res *wire.Comman
 	}
 	w.met.resultsSpooled.Inc()
 	w.log.Warn("spooled undeliverable result for redelivery", "command", res.CommandID, "err", err)
+}
+
+// sendChunk ships one streamed frame chunk to the project server: retried
+// direct delivery to the origin, then retried anycast. There is no disk
+// rung — chunks are an optimization overlay on the batch path, and the
+// final result blob carries every frame, so a dropped chunk costs analysis
+// latency, never data.
+func (w *Worker) sendChunk(ctx context.Context, origin string, chunk *wire.FrameChunk) {
+	payload, err := wire.Marshal(chunk)
+	if err != nil {
+		w.met.streamErrors.Inc()
+		w.log.Error("encoding frame chunk failed", "command", chunk.CommandID, "err", err)
+		return
+	}
+	delivered := false
+	if origin != "" {
+		_, err = w.request(ctx, "framechunk", origin, wire.MsgFrameChunk, payload)
+		delivered = err == nil
+	}
+	if !delivered {
+		_, err = w.request(ctx, "framechunk_anycast", "", wire.MsgFrameChunk, payload)
+		delivered = err == nil
+	}
+	if !delivered {
+		w.met.streamErrors.Inc()
+		w.log.Warn("dropping undeliverable frame chunk",
+			"command", chunk.CommandID, "seq", chunk.Seq, "err", err)
+		return
+	}
+	w.met.streamChunks.Inc()
+	w.met.streamFrames.Add(uint64(len(chunk.Frames)))
+}
+
+// checkpointPath maps a command ID to its local checkpoint file.
+func (w *Worker) checkpointPath(cmdID string) string {
+	name := strings.ReplaceAll(cmdID, string(filepath.Separator), "_")
+	return filepath.Join(w.cfg.CheckpointDir, name+".ckpt")
+}
+
+// saveLocalCheckpoint persists an engine checkpoint atomically; failures
+// are logged and otherwise ignored — the server-side checkpoint path still
+// covers the command.
+func (w *Worker) saveLocalCheckpoint(cmdID string, ck []byte) {
+	if w.cfg.CheckpointDir == "" || len(ck) == 0 {
+		return
+	}
+	if err := os.MkdirAll(w.cfg.CheckpointDir, 0o755); err != nil {
+		w.log.Warn("creating checkpoint dir failed", "err", err)
+		return
+	}
+	if err := atomicfile.WriteFile(w.checkpointPath(cmdID), ck, 0o644); err != nil {
+		w.log.Warn("persisting local checkpoint failed", "command", cmdID, "err", err)
+	}
+}
+
+// loadLocalCheckpoint returns the persisted checkpoint for a command, or
+// nil if there is none.
+func (w *Worker) loadLocalCheckpoint(cmdID string) []byte {
+	if w.cfg.CheckpointDir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(w.checkpointPath(cmdID))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// dropLocalCheckpoint removes a settled command's checkpoint file.
+func (w *Worker) dropLocalCheckpoint(cmdID string) {
+	if w.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := os.Remove(w.checkpointPath(cmdID)); err != nil && !os.IsNotExist(err) {
+		w.log.Warn("removing local checkpoint failed", "command", cmdID, "err", err)
+	}
 }
 
 // spoolResult persists one wire-encoded CommandResult for later redelivery.

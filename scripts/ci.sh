@@ -19,12 +19,12 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
-echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store, store/replica, md, des, repex) =="
+echo "== go test -race (obs, server, worker, queue, overlay, retry, chaos, store, store/replica, md, des, repex, msm) =="
 go test -race ./internal/obs/... ./internal/server/... \
     ./internal/worker/... ./internal/queue/... ./internal/overlay/... \
     ./internal/retry/... ./internal/chaos/... ./internal/store/... \
     ./internal/store/replica/... ./internal/md/... ./internal/des/... \
-    ./internal/repex/...
+    ./internal/repex/... ./internal/msm/...
 
 echo "== md bench smoke =="
 go test -run=NONE -bench=. -benchtime=1x ./internal/md
@@ -43,5 +43,8 @@ go test -race -run TestMultiTenantScenario -timeout 300s ./internal/des/
 
 echo "== replica-exchange scheduling scenario (race) =="
 go test -race -run TestRepexDES -timeout 300s ./internal/des/
+
+echo "== streaming-analysis scenario (race) =="
+go test -race -run TestStreamAnalysisDES -timeout 300s ./internal/des/
 
 echo "ci: all checks passed"
